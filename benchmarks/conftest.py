@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures on the
+simulated cluster, reports the figure's rows through
+``benchmark.extra_info`` and prints them (run with ``-s`` to see the
+tables).  Wall-clock timing from pytest-benchmark measures the
+*simulator*; the scientific output is the simulated-bandwidth rows.
+
+Set ``REPRO_BENCH_SCALE=full`` for the full-resolution sweeps used to
+regenerate EXPERIMENTS.md (slower).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture
+def record_result(benchmark):
+    """Attach an ExperimentResult's rows to the benchmark record."""
+
+    def _record(result) -> None:
+        benchmark.extra_info["experiment"] = result.experiment
+        benchmark.extra_info["paper_reference"] = result.paper_reference
+        benchmark.extra_info["rows"] = [
+            dict(zip(result.headers, row)) for row in result.rows
+        ]
+        print()
+        print(result)
+
+    return _record

@@ -1,0 +1,26 @@
+"""Fig 8: FileBench OLTP throughput and CPU/op by registration strategy."""
+
+from repro.experiments.figures import run_fig8
+
+
+def _best(result, strategy):
+    return max(row[2] for row in result.rows if row[0] == strategy)
+
+
+def test_fig8_oltp_registration_strategies(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(run_fig8, args=(bench_scale,),
+                                rounds=1, iterations=1)
+    record_result(result)
+
+    register = _best(result, "Register")
+    fmr = _best(result, "FMR")
+    cache = _best(result, "Cache")
+    # Paper: the registration cache improves OLTP throughput by up to
+    # ~50% over dynamic registration...
+    assert cache > 1.3 * register
+    # ...while FMR performs comparably with dynamic registration.
+    assert abs(fmr - register) < 0.25 * register
+    # CPU per op stays in the same ballpark across strategies (the lines
+    # of Fig 8 track each other).
+    cpus = [row[3] for row in result.rows]
+    assert max(cpus) < 3 * min(cpus)

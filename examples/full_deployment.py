@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""A complete NFS deployment, bootstrapped the way real ones are.
+
+Walks the full stack: portmapper lookup → MOUNT with an export
+allow-list → FSINFO negotiation → client-side caching with
+close-to-open consistency → large I/O split at the negotiated transfer
+size — all over the Read-Write RPC/RDMA transport with the server
+registration cache.
+
+Run:  python examples/full_deployment.py
+"""
+
+from repro.experiments import Cluster, ClusterConfig
+from repro.nfs import (
+    CachingNfsClient,
+    ClientCacheConfig,
+    Export,
+    MountClient,
+    MountServer,
+    NfsClient,
+    Portmapper,
+)
+from repro.nfs.mountd import MOUNT_PROG, MOUNT_VERS, MountError
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(transport="rdma-rw", strategy="cache",
+                                    nclients=2))
+
+    # Server-side services beyond NFS itself.
+    pmap = Portmapper(cluster.rpc_server)
+    pmap.set(MOUNT_PROG, MOUNT_VERS, 20048)
+    exports = [
+        Export("/pub"),
+        Export("/home", allowed_clients=frozenset({"workstation-0"})),
+    ]
+    mountd = MountServer(cluster.rpc_server, cluster.fs, exports)
+
+    def server_setup():
+        # Carve the namespace the exports point at.
+        fs = cluster.fs
+        yield from fs.mkdir(fs.root_id, "pub")
+        yield from fs.mkdir(fs.root_id, "home")
+
+    cluster.run(server_setup())
+
+    # -- client 0: full bootstrap -----------------------------------------
+    mc0 = MountClient(cluster.mounts[0].transport, "workstation-0")
+
+    def bootstrap():
+        port = yield from mc0.getport(MOUNT_PROG, MOUNT_VERS)
+        print(f"portmapper says mountd is at port {port}")
+        print(f"exports: {(yield from mc0.list_exports())}")
+        home_fh = yield from mc0.mount("/home")
+        return home_fh
+
+    home_fh = cluster.run(bootstrap())
+    print("mounted /home (allow-listed client)")
+
+    # -- client 1 is not on /home's allow-list -------------------------------
+    mc1 = MountClient(cluster.mounts[1].transport, "laptop-7")
+
+    def denied():
+        try:
+            yield from mc1.mount("/home")
+        except MountError as exc:
+            return exc.status
+        return None
+
+    print(f"laptop-7 mounting /home -> MNT3ERR status {cluster.run(denied())} "
+          "(ACCES: export list enforced before any NFS op)")
+
+    # -- cached I/O on the mounted tree -------------------------------------
+    raw = NfsClient(cluster.mounts[0].transport, home_fh)
+    cached = CachingNfsClient(raw, cluster.sim, ClientCacheConfig())
+
+    def work():
+        info = yield from raw.fsinfo(home_fh)
+        print(f"FSINFO: rtmax={info.rtmax >> 10}KB wtmax={info.wtmax >> 10}KB")
+        fh, _ = yield from raw.create(home_fh, "thesis.tex")
+        handle = yield from cached.open(fh)
+        chapter = b"\\section{NFS over RDMA}\n" * 20_000   # ~480 KB
+        yield from cached.write(handle, 0, chapter)
+        yield from cached.close(handle)                    # flush + commit
+        # Re-open and read: revalidates, then serves from cache.
+        handle = yield from cached.open(fh)
+        rpcs_before = raw.ops.events
+        data, eof = yield from cached.read(handle, 0, len(chapter))
+        yield from cached.read(handle, 0, len(chapter))    # pure cache hit
+        assert data == chapter and eof
+        print(f"read {len(data)} bytes twice with "
+              f"{raw.ops.events - rpcs_before} data RPCs after warmup; "
+              f"cache hit ratio {cached.pages.hit_ratio():.0%}")
+        # Large I/O honours the negotiated transfer ceiling.
+        big = bytes(3 << 20)
+        yield from raw.write_large(fh, 0, big, limit=info.wtmax)
+        back, _ = yield from raw.read_large(fh, 0, len(big), limit=info.rtmax)
+        assert back == big
+        print(f"3 MB round-trip split into {-(-len(big) // info.wtmax)} "
+              "wire transfers per direction")
+
+    cluster.run(work())
+    print(f"simulated time: {cluster.sim.now / 1e6:.2f} s; "
+          f"server stags exposed: "
+          f"{len(cluster.server_node.hca.tpt.stags_exposed_ever)}")
+
+
+if __name__ == "__main__":
+    main()

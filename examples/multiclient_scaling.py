@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Multi-client scalability over a RAID back-end (the Fig 10 scenario).
+
+Sweeps client count for RDMA and NFS/TCP-on-IPoIB against a server with
+an 8-spindle RAID-0 and a page cache, at two cache sizes.  Shows the
+three regimes the paper identifies: transport-bound (TCP), cache-bound
+(RDMA with small memory) and back-end-bound (everyone, eventually).
+
+Run:  python examples/multiclient_scaling.py        (takes a minute)
+"""
+
+from repro.analysis import LINUX_DDR_RAID
+from repro.analysis.stats import format_table
+from repro.experiments import Cluster, ClusterConfig
+from repro.workloads import IozoneParams, run_iozone
+
+FILE_BYTES = 48 << 20      # per-client file (paper: 1 GB, scaled 1/21)
+CLIENTS = (1, 2, 3, 4, 6, 8)
+
+
+def sweep(transport: str, cache_multiple: int) -> list:
+    row = []
+    for nclients in CLIENTS:
+        cluster = Cluster(ClusterConfig(
+            transport=transport,
+            strategy="all-physical" if transport == "rdma-rw" else "dynamic",
+            backend="raid",
+            cache_bytes=cache_multiple * FILE_BYTES,
+            nclients=nclients,
+            profile=LINUX_DDR_RAID,
+        ))
+        result = run_iozone(cluster, IozoneParams(
+            nthreads=1, record_bytes=1 << 20,
+            file_bytes=FILE_BYTES, ops_per_thread=None,
+        ))
+        row.append(f"{result.read_mb_s:.0f}")
+    return row
+
+
+def main() -> None:
+    rows = []
+    for cache_multiple in (4, 8):
+        for transport, label in (("rdma-rw", "RDMA"), ("tcp-ipoib", "IPoIB")):
+            rows.append(
+                [f"{label} ({cache_multiple}x cache)"] + sweep(transport, cache_multiple)
+            )
+    print(format_table(["series"] + [f"{n} clients" for n in CLIENTS], rows))
+    print("\nRDMA rides the page cache to ~900 MB/s until the aggregate")
+    print("working set spills it, then falls to spindle bandwidth; IPoIB is")
+    print("host-cost-bound near 360 MB/s long before the disks matter.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Tune registration strategy for an OLTP workload (the Fig 8 scenario).
+
+Runs the FileBench-style OLTP mix over the Read-Write transport with
+each registration strategy and reports ops/s and client CPU per op —
+the decision a deployment of this system would actually face.
+
+Run:  python examples/oltp_registration_tuning.py
+"""
+
+from repro.analysis.stats import format_table
+from repro.experiments import Cluster, ClusterConfig
+from repro.workloads import OltpParams, run_oltp
+
+STRATEGIES = [
+    ("dynamic", "register/deregister every op"),
+    ("fmr", "fast memory registration"),
+    ("cache", "server buffer registration cache"),
+]
+
+
+def main() -> None:
+    params = OltpParams(readers=50, writers=10, log_writers=1,
+                        datafile_bytes=16 << 20, ops_per_thread=5)
+    rows = []
+    baseline = None
+    for strategy, blurb in STRATEGIES:
+        cluster = Cluster(ClusterConfig(transport="rdma-rw", strategy=strategy))
+        result = run_oltp(cluster, params)
+        if baseline is None:
+            baseline = result.ops_per_s
+        rows.append([
+            strategy,
+            blurb,
+            f"{result.ops_per_s:.0f}",
+            f"{result.ops_per_s / baseline - 1:+.0%}",
+            f"{result.client_cpu_us_per_op:.1f}",
+        ])
+    print(format_table(
+        ["strategy", "what it does", "ops/s", "vs dynamic", "client CPU us/op"],
+        rows,
+    ))
+    print("\nThe paper's Fig 8 finding: the slab-backed registration cache")
+    print("converts raw bandwidth gains into application throughput (+~50%),")
+    print("while FMR only shaves the TPT transaction and stays near dynamic.")
+
+
+if __name__ == "__main__":
+    main()

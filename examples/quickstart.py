@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: an NFS deployment over the Read-Write RPC/RDMA transport.
+
+Builds a one-client simulated cluster (client + server nodes with SDR
+InfiniBand HCAs, tmpfs backend), does ordinary file work through the
+NFSv3 client, then shows what moved over RDMA and what it cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import Cluster, ClusterConfig
+from repro.workloads import IozoneParams, run_iozone
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(
+        transport="rdma-rw",       # the paper's proposed design
+        strategy="cache",          # server buffer registration cache (§4.3)
+        backend="tmpfs",
+    ))
+    nfs = cluster.mounts[0].nfs
+
+    # -- ordinary file work, end to end over simulated RDMA ---------------
+    def session():
+        home, _ = yield from nfs.mkdir(nfs.root, "home")
+        fh, _ = yield from nfs.create(home, "hello.dat")
+        payload = b"hello, rdma world! " * 10_000          # ~190 KB
+        written, attrs = yield from nfs.write(fh, 0, payload)
+        data, eof, _ = yield from nfs.read(fh, 0, written)
+        assert data == payload and eof
+        entries = yield from nfs.readdir(home)
+        return written, [e.name for e in entries]
+
+    written, names = cluster.run(session())
+    print(f"wrote+verified {written} bytes; /home contains {names}")
+
+    # -- what happened on the wire -----------------------------------------
+    server_hca = cluster.server_node.hca
+    print(f"server RDMA Writes: {server_hca.writes.value} bytes "
+          f"(READ data pushed into client memory)")
+    print(f"server RDMA Reads:  {server_hca.reads.value} bytes "
+          f"(WRITE data pulled from client chunks)")
+    print(f"server stags ever exposed: "
+          f"{len(server_hca.tpt.stags_exposed_ever)}  <- the security win")
+
+    # -- a quick bandwidth measurement ---------------------------------------
+    result = run_iozone(cluster, IozoneParams(nthreads=8, ops_per_thread=60))
+    print(f"IOzone 8 threads, 128K records: "
+          f"read {result.read_mb_s:.0f} MB/s, write {result.write_mb_s:.0f} MB/s, "
+          f"client CPU {result.client_cpu_read * 100:.1f}%")
+    print(f"(simulated clock advanced {cluster.sim.now / 1e6:.2f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Compare every transport the paper discusses on one workload.
+
+Runs the same multi-threaded IOzone workload over the proposed
+Read-Write design, the original Read-Read design, and NFS/TCP on IPoIB
+and Gigabit Ethernet — the full comparison matrix behind the paper's
+introduction.
+
+Run:  python examples/transport_comparison.py
+"""
+
+from repro.analysis.stats import format_table
+from repro.experiments import Cluster, ClusterConfig
+from repro.workloads import IozoneParams, run_iozone
+
+CONFIGS = [
+    ("rdma-rw (proposed)", "rdma-rw", "cache"),
+    ("rdma-rw (dynamic reg)", "rdma-rw", "dynamic"),
+    ("rdma-rr (Callaghan)", "rdma-rr", "dynamic"),
+    ("tcp over IPoIB", "tcp-ipoib", "dynamic"),
+    ("tcp over GigE", "tcp-gige", "dynamic"),
+]
+
+
+def main() -> None:
+    rows = []
+    for label, transport, strategy in CONFIGS:
+        cluster = Cluster(ClusterConfig(transport=transport, strategy=strategy))
+        result = run_iozone(cluster, IozoneParams(nthreads=8, ops_per_thread=50))
+        rows.append([
+            label,
+            f"{result.read_mb_s:.0f}",
+            f"{result.write_mb_s:.0f}",
+            f"{result.client_cpu_read * 100:.1f}%",
+            f"{result.server_cpu_read * 100:.1f}%",
+        ])
+    print(format_table(
+        ["transport", "read MB/s", "write MB/s", "client CPU", "server CPU"],
+        rows,
+    ))
+    print("\nThe paper's claims, visible above: the Read-Write design beats")
+    print("Read-Read on both bandwidth and client CPU; both demolish TCP;")
+    print("the registration cache pushes reads toward the wire limit.")
+    print("(A single NFS/TCP mount serializes host-side copies on one socket,")
+    print("so IPoIB only pulls ahead of GigE with multiple clients — see")
+    print("examples/multiclient_scaling.py for that picture.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — NFS over RDMA for Security, Performance and Scalability.
+
+A full reproduction of the ICPP 2007 paper by Noronha, Chai, Talpey and
+Panda as an executable system: the Read-Write and Read-Read RPC/RDMA
+transport designs, four memory-registration strategies, an NFSv3
+client/server, and every substrate they need (a byte-real simulated
+InfiniBand verbs layer, TCP/IPoIB/GigE, file systems, disks, page
+caches) on a deterministic discrete-event kernel.
+
+Start with :class:`repro.experiments.Cluster`::
+
+    from repro.experiments import Cluster, ClusterConfig
+    cluster = Cluster(ClusterConfig(transport="rdma-rw", strategy="cache"))
+    nfs = cluster.mounts[0].nfs
+
+or from a shell: ``python -m repro list``.
+
+See README.md for the architecture map, DESIGN.md for the hardware
+substitution argument, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,200 @@
+"""Command-line entry point.
+
+::
+
+    python -m repro list
+    python -m repro run fig5 [--scale quick|full]
+    python -m repro report [--scale quick|full] [--output EXPERIMENTS.md]
+    python -m repro iozone --transport rdma-rw --strategy cache --threads 8
+    python -m repro oltp --strategy cache --readers 50
+    python -m repro postmark --transactions 400 [--client-cache]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import LINUX_DDR_RAID, LINUX_SDR, SOLARIS_SDR
+from repro.experiments import Cluster, ClusterConfig, figures
+from repro.experiments.cluster import STRATEGIES, TRANSPORTS
+from repro.workloads import (
+    IozoneParams,
+    OltpParams,
+    PostmarkParams,
+    run_iozone,
+    run_oltp,
+    run_postmark,
+)
+
+PROFILES = {p.name: p for p in (SOLARIS_SDR, LINUX_SDR, LINUX_DDR_RAID)}
+
+EXPERIMENTS = {
+    "table1": figures.run_table1,
+    "fig5": figures.run_fig5,
+    "fig6": figures.run_fig6,
+    "fig7": figures.run_fig7,
+    "fig8": figures.run_fig8,
+    "fig9": figures.run_fig9,
+    "fig10": figures.run_fig10,
+    "security": figures.run_security_audit,
+}
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--transport", choices=TRANSPORTS, default="rdma-rw")
+    parser.add_argument("--strategy", choices=STRATEGIES, default="dynamic")
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="solaris-sdr")
+    parser.add_argument("--backend", choices=("tmpfs", "raid"), default="tmpfs")
+    parser.add_argument("--clients", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=2007)
+
+
+def _cluster(args) -> Cluster:
+    return Cluster(ClusterConfig(
+        transport=args.transport,
+        strategy=args.strategy,
+        profile=PROFILES[args.profile],
+        backend=args.backend,
+        nclients=args.clients,
+        seed=args.seed,
+    ))
+
+
+def cmd_list(args) -> int:
+    print("experiments (python -m repro run <name>):")
+    for name, runner in EXPERIMENTS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<10} {doc}")
+    print("\nworkload drivers: iozone, oltp, postmark (see --help on each)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    runner = EXPERIMENTS[args.experiment]
+    result = runner(args.scale)
+    print(result)
+    chart = _chart_for(result)
+    if chart:
+        print(chart)
+    return 0
+
+
+def _chart_for(result) -> str:
+    """Bar-chart the figure's primary metric, grouped by series."""
+    from repro.analysis.plot import series_chart
+
+    rows = result.rows
+    if not rows or not isinstance(rows[0][-1], (int, float)):
+        return ""
+    if isinstance(rows[0][1], (int, float)) or len(rows[0]) >= 3:
+        series: dict[str, dict] = {}
+        for row in rows:
+            series.setdefault(str(row[0]), {})[str(row[-3] if len(row) > 3 else row[1])] = (
+                float(row[2]) if len(row) > 3 else float(row[-1])
+            )
+        try:
+            return "\n" + series_chart(series, unit="")
+        except (TypeError, ValueError):
+            return ""
+    return ""
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import generate
+
+    content = generate(args.scale)
+    with open(args.output, "w") as fh:
+        fh.write(content)
+    print(f"wrote {args.output} ({len(content)} bytes)")
+    return 0
+
+
+def cmd_iozone(args) -> int:
+    cluster = _cluster(args)
+    result = run_iozone(cluster, IozoneParams(
+        nthreads=args.threads,
+        record_bytes=args.record_kb * 1024,
+        ops_per_thread=args.ops,
+    ))
+    print(f"read  {result.read_mb_s:8.1f} MB/s   latency {result.read_latency}")
+    print(f"write {result.write_mb_s:8.1f} MB/s   latency {result.write_latency}")
+    print(f"client CPU {result.client_cpu_read * 100:.1f}%  "
+          f"server CPU {result.server_cpu_read * 100:.1f}%")
+    return 0
+
+
+def cmd_oltp(args) -> int:
+    cluster = _cluster(args)
+    result = run_oltp(cluster, OltpParams(
+        readers=args.readers, writers=args.writers,
+        ops_per_thread=args.ops,
+    ))
+    print(f"{result.ops_per_s:.0f} ops/s, {result.client_cpu_us_per_op:.1f} "
+          f"client-CPU us/op over {result.elapsed_us / 1e6:.2f}s simulated")
+    return 0
+
+
+def cmd_postmark(args) -> int:
+    cluster = _cluster(args)
+    result = run_postmark(cluster, PostmarkParams(
+        initial_files=args.files, transactions=args.transactions,
+        nthreads=args.threads, use_client_cache=args.client_cache,
+    ))
+    print(f"{result.txns_per_s:.0f} txns/s "
+          f"({result.created} created, {result.deleted} deleted)")
+    print(f"latency: {result.latency}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NFS/RDMA reproduction: experiments and workload drivers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run", help="run one paper experiment")
+    p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("--output", default="EXPERIMENTS.md")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("iozone", help="IOzone-style bandwidth run")
+    _add_cluster_args(p)
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--record-kb", type=int, default=128)
+    p.add_argument("--ops", type=int, default=60)
+    p.set_defaults(fn=cmd_iozone)
+
+    p = sub.add_parser("oltp", help="FileBench OLTP run")
+    _add_cluster_args(p)
+    p.add_argument("--readers", type=int, default=50)
+    p.add_argument("--writers", type=int, default=10)
+    p.add_argument("--ops", type=int, default=5)
+    p.set_defaults(fn=cmd_oltp)
+
+    p = sub.add_parser("postmark", help="PostMark small-file run")
+    _add_cluster_args(p)
+    p.add_argument("--files", type=int, default=100)
+    p.add_argument("--transactions", type=int, default=400)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--client-cache", action="store_true")
+    p.set_defaults(fn=cmd_postmark)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Analysis layer: calibrated testbed profiles, metrics and reporting."""
+
+from repro.analysis.calibration import (
+    LINUX_DDR_RAID,
+    LINUX_SDR,
+    SOLARIS_SDR,
+    TestbedProfile,
+)
+from repro.analysis.latency import LatencyRecorder, LatencySummary
+from repro.analysis.stats import BandwidthWindow, summarize_mb_s
+
+__all__ = [
+    "BandwidthWindow",
+    "LatencyRecorder",
+    "LatencySummary",
+    "LINUX_DDR_RAID",
+    "LINUX_SDR",
+    "SOLARIS_SDR",
+    "TestbedProfile",
+    "summarize_mb_s",
+]

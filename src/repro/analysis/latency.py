@@ -1,0 +1,83 @@
+"""Per-operation latency recording and percentile summaries.
+
+Bandwidth plateaus tell half the story; the paper's mechanisms (DONE
+round trips, synchronous read stalls, registration on the critical
+path) are *latency* effects that only surface at low concurrency.  A
+:class:`LatencyRecorder` collects per-op latencies cheaply (numpy
+array, amortized growth) and reports the distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyRecorder", "LatencySummary"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution snapshot, microseconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return (f"n={self.count} mean={self.mean:.1f}us p50={self.p50:.1f} "
+                f"p90={self.p90:.1f} p99={self.p99:.1f} max={self.maximum:.1f}")
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, maximum=0.0)
+
+
+class LatencyRecorder:
+    """Append-only latency sink with vectorized summarization."""
+
+    def __init__(self, name: str = "latency", initial_capacity: int = 1024):
+        self.name = name
+        self._values = np.empty(initial_capacity, dtype=np.float64)
+        self._count = 0
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency {latency_us}")
+        if self._count == len(self._values):
+            self._values = np.concatenate(
+                [self._values, np.empty(len(self._values), dtype=np.float64)]
+            )
+        self._values[self._count] = latency_us
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values[: self._count]
+
+    def summarize(self) -> LatencySummary:
+        if self._count == 0:
+            return LatencySummary.empty()
+        data = self.values
+        p50, p90, p99 = np.percentile(data, [50, 90, 99])
+        return LatencySummary(
+            count=self._count,
+            mean=float(data.mean()),
+            p50=float(p50),
+            p90=float(p90),
+            p99=float(p99),
+            maximum=float(data.max()),
+        )
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        merged = LatencyRecorder(self.name, max(1, self._count + other._count))
+        merged._values[: self._count] = self.values
+        merged._values[self._count : self._count + other._count] = other.values
+        merged._count = self._count + other._count
+        return merged

@@ -1,0 +1,74 @@
+"""Terminal plots: ASCII bar charts and series sparklines.
+
+The experiment runners return rows; these helpers render them the way
+the paper renders figures — one bar/line per series — without any
+plotting dependency, so `python -m repro run fig5` shows a shape you
+can eyeball against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["bar_chart", "series_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    cells = value / vmax * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    out = "█" * whole
+    if frac and whole < width:
+        out += _BLOCKS[frac]
+    return out
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    vmax: Optional[float] = None,
+) -> str:
+    """Horizontal bars, one per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    if not labels:
+        return "(no data)"
+    vmax = vmax if vmax is not None else max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = _bar(float(value), vmax, width)
+        lines.append(f"{str(label):<{label_w}}  {bar:<{width}}  {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: dict[str, dict],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Grouped bars: {series_name: {x: y}} — one block per series.
+
+    Shares one scale across every series so relative magnitudes (the
+    point of the paper's figures) survive the rendering.
+    """
+    if not series:
+        return "(no data)"
+    vmax = max((max(points.values()) for points in series.values() if points),
+               default=1.0) or 1.0
+    blocks = []
+    for name, points in series.items():
+        xs = sorted(points)
+        body = bar_chart(
+            [str(x) for x in xs],
+            [points[x] for x in xs],
+            width=width, unit=unit, vmax=vmax,
+        )
+        blocks.append(f"-- {name} --\n{body}")
+    return "\n\n".join(blocks)

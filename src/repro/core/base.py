@@ -1,0 +1,554 @@
+"""Shared machinery for both RPC/RDMA transport designs.
+
+Everything that is *identical* between the Read-Read and Read-Write
+designs lives here (§3–4 of the paper):
+
+* pre-registered inline send/receive pools with credit-based flow
+  control (the client never overruns the server's posted receives);
+* the inline send path (RDMA_MSG) and the RPC long call (RDMA_NOMSG +
+  position-0 read chunks);
+* the NFS WRITE data path: client exposes read chunks, the server
+  RDMA-Reads them and **blocks until the reads complete** — the
+  synchronous-read stall of §4.1, required because InfiniBand does not
+  order a Read ahead of a later Send;
+* segment slicing/pairing helpers used to map possibly-fragmented
+  (all-physical) chunk lists onto individual RDMA operations.
+
+The designs subclass the client and server bases and override only the
+reply-direction bulk path — which is precisely where they differ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.core.chunks import ChunkList, ReadChunk
+from repro.core.config import RpcRdmaConfig
+from repro.core.credits import CreditManager
+from repro.core.header import MessageType, RpcRdmaHeader
+from repro.core.strategies import RegisteredRegion, RegistrationStrategy
+from repro.ib.fabric import IBNode
+from repro.ib.memory import AccessFlags
+from repro.ib.verbs import (
+    CqeStatus,
+    QPError,
+    QueuePair,
+    RdmaReadWR,
+    RdmaWriteWR,
+    RecvWR,
+    Segment,
+    SendWR,
+)
+from repro.rpc.msg import RpcCall, RpcReply, frame_message, unframe_message
+from repro.rpc.svc import RpcServer
+from repro.rpc.transport import RpcClientTransport, RpcServerTransport
+from repro.sim import Counter, Event, Store
+
+__all__ = [
+    "RpcRdmaClientBase",
+    "RpcRdmaServerBase",
+    "TransportError",
+    "pair_transfers",
+    "slice_segments",
+]
+
+#: Data read chunks (NFS WRITE payload) carry this position; position 0
+#: is reserved for long-call/long-reply message bodies.
+DATA_CHUNK_POSITION = 1
+
+
+class TransportError(Exception):
+    """Fatal transport failure (flushed WRs, protocol violation...)."""
+
+
+def slice_segments(segments: list[Segment], offset: int, length: int) -> list[Segment]:
+    """A sub-window of a (possibly fragmented) segment list."""
+    out: list[Segment] = []
+    pos = 0
+    for seg in segments:
+        if length <= 0:
+            break
+        if pos + seg.length <= offset:
+            pos += seg.length
+            continue
+        start = max(0, offset - pos)
+        take = min(seg.length - start, length)
+        out.append(Segment(seg.stag, seg.addr + start, take))
+        length -= take
+        offset += take
+        pos += seg.length
+    if length > 0:
+        raise TransportError(f"segment list short by {length} bytes")
+    return out
+
+
+def pair_transfers(
+    src: list[Segment], dst: list[Segment], length: int
+) -> list[tuple[list[Segment], Segment]]:
+    """Split one logical transfer into per-destination-segment RDMA ops.
+
+    Each RDMA Write/Read names exactly one remote segment; fragmented
+    remote chunk lists (all-physical mode) therefore multiply operations
+    — the Fig 9b effect.
+    """
+    ops: list[tuple[list[Segment], Segment]] = []
+    offset = 0
+    for dseg in dst:
+        if offset >= length:
+            break
+        take = min(dseg.length, length - offset)
+        ops.append(
+            (
+                slice_segments(src, offset, take),
+                Segment(dseg.stag, dseg.addr, take),
+            )
+        )
+        offset += take
+    if offset < length:
+        raise TransportError(
+            f"destination chunk too small: {length} bytes into {sum(d.length for d in dst)}"
+        )
+    return ops
+
+
+class _InlinePool:
+    """Pre-registered fixed-size buffers for inline sends/receives.
+
+    Registered once at connection setup, never per-operation — matching
+    both real implementations and the paper's cost analysis (inline
+    traffic contributes no registration cost).
+    """
+
+    def __init__(self, node: IBNode, count: int, size: int, name: str):
+        self.node = node
+        self.count = count
+        self.size = size
+        self.name = name
+        self.free: Store = Store(node.sim, name=f"{name}.free")
+        self.regions: list[RegisteredRegion] = []
+
+    def setup(self) -> Generator:
+        tpt = self.node.hca.tpt
+        for _ in range(self.count):
+            buffer = self.node.arena.alloc(self.size)
+            mr = yield from tpt.register(buffer, AccessFlags.LOCAL_WRITE)
+            region = RegisteredRegion(
+                buffer=buffer,
+                segments=[Segment(mr.stag, buffer.addr, self.size)],
+                access=AccessFlags.LOCAL_WRITE,
+                owned=True,
+                mr=mr,
+            )
+            self.regions.append(region)
+            self.free.put(region)
+
+
+class _RdmaEndpoint:
+    """Send-path plumbing shared by client and server endpoints."""
+
+    def __init__(
+        self,
+        node: IBNode,
+        qp: QueuePair,
+        config: RpcRdmaConfig,
+        strategy: RegistrationStrategy,
+        name: str,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.qp = qp
+        self.config = config
+        self.strategy = strategy
+        self.name = name
+        self.send_pool = _InlinePool(node, config.credits, config.inline_threshold,
+                                     f"{name}.sendpool")
+        self.recv_pool = _InlinePool(node, config.credits, config.inline_threshold,
+                                     f"{name}.recvpool")
+        self.headers_sent = Counter(f"{name}.headers")
+        self._posted: deque = deque()
+        self.bytes_rdma_read = Counter(f"{name}.rdma_read_bytes")
+        self.bytes_rdma_written = Counter(f"{name}.rdma_write_bytes")
+        #: Event for the peer's setup (the CM handshake completes only
+        #: once both sides have pre-posted receives); set by the wiring
+        #: layer, waited on before the first send.
+        self.peer_ready = None
+        self.failed = False
+
+    # -- setup ---------------------------------------------------------
+    def _setup_pools(self) -> Generator:
+        yield from self.send_pool.setup()
+        yield from self.recv_pool.setup()
+        for region in self.recv_pool.regions:
+            self.repost_recv(region)
+
+    # -- inline send -----------------------------------------------------
+    def send_header(self, header: RpcRdmaHeader) -> Generator:
+        """Process: ship one RPC/RDMA header (plus inline body) via Send."""
+        payload = header.encode()
+        if len(payload) > self.config.inline_threshold:
+            raise TransportError(
+                f"header of {len(payload)} bytes exceeds inline threshold "
+                f"{self.config.inline_threshold}"
+            )
+        region = yield self.send_pool.free.get()
+        yield from self.node.cpu.copy(len(payload))  # marshal into send buffer
+        region.fill(payload)
+        seg = region.segments[0]
+        wr = SendWR(self.sim, segments=[Segment(seg.stag, seg.addr, len(payload))])
+        yield from self.node.hca.post_send(self.qp, wr)
+        self.headers_sent.add()
+        self.sim.process(self._reclaim_send(region, wr), name=f"{self.name}.reclaim")
+        return wr
+
+    def _reclaim_send(self, region: RegisteredRegion, wr: SendWR) -> Generator:
+        yield wr.completion
+        if not wr.cqe.ok:
+            self.failed = True
+        self.send_pool.free.put(region)
+
+    def repost_recv(self, region: RegisteredRegion) -> None:
+        wr = RecvWR(self.sim, list(region.segments))
+        wr.pool_region = region
+        try:
+            self.qp.post_recv(wr)
+        except QPError:
+            # Connection died: the endpoint is finished, not the sim.
+            self.failed = True
+            return
+        self._posted.append(wr)
+
+    def next_recv(self) -> RecvWR:
+        """The oldest posted receive (RC completes receives in order)."""
+        if not self._posted:
+            raise TransportError(f"{self.name}: receive queue empty")
+        return self._posted.popleft()
+
+    # -- chunk fetch (RDMA Read of peer-exposed chunks) -------------------
+    def fetch_chunks(
+        self, remote_segments: list[Segment], region: RegisteredRegion, length: int
+    ) -> Generator:
+        """Process: RDMA-Read ``length`` bytes of peer chunks into ``region``.
+
+        Blocks until every read completes — the issuing thread cannot
+        proceed because a subsequent Send could pass the Reads (§4.1).
+        """
+        ops = pair_transfers(region.segments, remote_segments, length)
+        wrs = []
+        for local_slice, remote_seg in ops:
+            # For a read, locals scatter and remote is the source; the
+            # pairing helper treats the remote list as the op splitter.
+            wr = RdmaReadWR(self.sim, local=local_slice, remote=remote_seg)
+            yield from self.node.hca.post_send(self.qp, wr)
+            wrs.append(wr)
+        for wr in wrs:
+            yield wr.completion
+            if not wr.cqe.ok:
+                raise TransportError(f"RDMA Read failed: {wr.cqe.error}")
+        self.bytes_rdma_read.add(length)
+
+    def push_chunks(
+        self, region: RegisteredRegion, remote_segments: list[Segment], length: int
+    ) -> Generator:
+        """Process: RDMA-Write ``length`` bytes of ``region`` into peer chunks.
+
+        Writes are posted *unsignaled* and not waited for: InfiniBand
+        guarantees a later Send on the same QP completes after them
+        (§4.2), so the reply send carries the completion semantics.
+        """
+        ops = pair_transfers(region.segments, remote_segments, length)
+        for local_slice, remote_seg in ops:
+            wr = RdmaWriteWR(self.sim, local=local_slice, remote=remote_seg,
+                             signaled=False)
+            yield from self.node.hca.post_send(self.qp, wr)
+        self.bytes_rdma_written.add(length)
+
+
+class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
+    """Client half: marshalling, credits, XID demux, long calls, WRITE data.
+
+    Subclasses provide the reply-direction behaviour:
+
+    * ``_prepare_reply_resources(call, chunks, ctx)`` — what to advertise
+      in the call (Read-Write: write/reply chunks; Read-Read: nothing);
+    * ``_handle_reply(header, ctx)`` — how to obtain reply bulk data
+      (Read-Write: already in client memory; Read-Read: RDMA-Read the
+      server's chunks, then send RDMA_DONE).
+    """
+
+    design = "base"
+
+    def __init__(self, node, qp, config, strategy, name=""):
+        name = name or f"{node.name}.rpcrdma-{self.design}"
+        super().__init__(node, qp, config, strategy, name)
+        self.credits = CreditManager(node.sim, config.credits, name=f"{name}.credits")
+        self._pending: dict[int, Event] = {}
+        self._contexts: dict[int, dict] = {}
+        self.calls_sent = Counter(f"{name}.calls")
+        self.ready = self.sim.process(self._setup_pools(), name=f"{name}.setup")
+        self._recv_fifo: deque = deque()
+        self.sim.process(self._receiver(), name=f"{name}.rx")
+
+    # -- public API ---------------------------------------------------------
+    def call(self, call: RpcCall) -> Generator:
+        if not self.ready.processed:
+            yield self.ready
+        if self.peer_ready is not None and not self.peer_ready.processed:
+            yield self.peer_ready
+        if self.failed:
+            raise TransportError(f"{self.name}: connection failed")
+        yield from self.credits.acquire()
+        yield from self.node.cpu.consume(self.config.per_op_cpu_us)
+        ctx: dict = {"regions": [], "call": call}
+        self._contexts[call.xid] = ctx
+        try:
+            header = yield from self._build_call(call, ctx)
+            waiter = Event(self.sim)
+            self._pending[call.xid] = waiter
+            yield from self.send_header(header)
+            self.calls_sent.add()
+            reply_header: RpcRdmaHeader = yield waiter
+            reply = yield from self._handle_reply(reply_header, ctx)
+            return reply
+        finally:
+            self._contexts.pop(call.xid, None)
+            self._pending.pop(call.xid, None)
+            for region in ctx["regions"]:
+                yield from self.strategy.release(region)
+            self.credits.release(ctx.get("new_grant"))
+
+    # -- call marshalling ---------------------------------------------------
+    def _build_call(self, call: RpcCall, ctx: dict) -> Generator:
+        chunks = ChunkList()
+        rpc_bytes = call.encode()
+        inline_payload: Optional[bytes] = None
+        payload = call.write_payload
+        if payload is not None:
+            if 4 + len(rpc_bytes) + len(payload) + 64 <= self.config.inline_threshold:
+                inline_payload = payload  # small write rides inline
+            else:
+                yield from self._add_write_data_chunks(call, chunks, ctx)
+        yield from self._prepare_reply_resources(call, chunks, ctx)
+        message = frame_message(rpc_bytes, inline_payload)
+        header = RpcRdmaHeader(
+            xid=call.xid,
+            credits=self.config.credits,
+            mtype=MessageType.RDMA_MSG,
+            chunks=chunks,
+            rpc_message=message,
+        )
+        if header.wire_size > self.config.inline_threshold:
+            # RPC long call: body moves as position-0 read chunks.
+            region = yield from self.strategy.acquire(len(message), AccessFlags.REMOTE_READ)
+            yield from self.node.cpu.copy(len(message))
+            region.fill(message)
+            ctx["regions"].append(region)
+            chunks.read_chunks = [
+                ReadChunk(position=0, segment=seg) for seg in region.segments
+            ] + chunks.read_chunks
+            header = RpcRdmaHeader(
+                xid=call.xid,
+                credits=self.config.credits,
+                mtype=MessageType.RDMA_NOMSG,
+                chunks=chunks,
+                rpc_message=b"",
+            )
+        return header
+
+    def _add_write_data_chunks(self, call: RpcCall, chunks: ChunkList, ctx: dict) -> Generator:
+        """Expose the NFS WRITE payload for server RDMA Reads.
+
+        Identical in both designs (§4: "The NFS Procedure WRITE is
+        similar in both the Read-Read and Read-Write based designs").
+        """
+        payload = call.write_payload
+        if call.write_buffer is not None:
+            # Zero-copy: register exactly the payload extent in place.
+            region = yield from self.strategy.wrap(
+                call.write_buffer, AccessFlags.REMOTE_READ,
+                addr=call.write_buffer.addr,
+                length=min(len(payload), call.write_buffer.length),
+            )
+        else:
+            region = yield from self.strategy.acquire(len(payload), AccessFlags.REMOTE_READ)
+            yield from self.node.cpu.copy(len(payload))
+            region.fill(payload)
+        ctx["regions"].append(region)
+        chunks.read_chunks.extend(
+            ReadChunk(position=DATA_CHUNK_POSITION, segment=seg)
+            for seg in slice_segments(region.segments, 0, len(payload))
+        )
+
+    # -- design-specific hooks ---------------------------------------------
+    def _prepare_reply_resources(self, call, chunks, ctx) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _handle_reply(self, header: RpcRdmaHeader, ctx: dict) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- receive path ---------------------------------------------------------
+    def _receiver(self) -> Generator:
+        yield self.ready
+        while True:
+            if self.failed or not self._posted:
+                self.failed = True
+                self._flush_waiters()
+                return
+            wr = self.next_recv()
+            yield wr.completion
+            if not wr.cqe.ok:
+                self.failed = True
+                self._flush_waiters()
+                return
+            header = RpcRdmaHeader.decode(wr.received)
+            # Repost a fresh inline receive in this buffer's place.
+            self.repost_recv(wr.pool_region)
+            waiter = self._pending.pop(header.xid, None)
+            if waiter is None:
+                continue  # stale reply for an aborted call
+            ctx = self._contexts.get(header.xid)
+            if ctx is not None:
+                ctx["new_grant"] = header.credits
+            waiter.succeed(header)
+
+    def _flush_waiters(self) -> None:
+        for xid, waiter in list(self._pending.items()):
+            waiter.fail(TransportError(f"{self.name}: connection failed")).defused()
+            del self._pending[xid]
+
+
+class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
+    """Server half: receive path, long-call fetch, WRITE-data fetch.
+
+    Subclasses implement ``_respond(call_ctx, reply)`` — the reply path
+    is where the two designs genuinely differ.
+    """
+
+    design = "base"
+
+    def __init__(self, node, qp, config, strategy, name="", credit_policy=None):
+        name = name or f"{node.name}.rpcrdmad-{self.design}"
+        super().__init__(node, qp, config, strategy, name)
+        self.server: Optional[RpcServer] = None
+        self.calls_received = Counter(f"{name}.calls")
+        #: server-side credit policy (§7 future work); defaults to the
+        #: static grant from the transport config.
+        self.credit_policy = credit_policy
+        if credit_policy is not None:
+            credit_policy.register_connection(qp.qp_num)
+        self.ready = self.sim.process(self._setup_pools(), name=f"{name}.setup")
+
+    def grant(self) -> int:
+        """Credits field for the next reply (policy- or config-driven)."""
+        if self.credit_policy is None:
+            return self.config.credits
+        backlog = self.server.backlog if self.server is not None else 0
+        return self.credit_policy.grant_for(self.qp.qp_num, backlog)
+
+    def attach(self, server: RpcServer) -> None:
+        if self.server is not None:
+            raise RuntimeError("transport already attached")
+        self.server = server
+        self.sim.process(self._receiver(), name=f"{self.name}.rx")
+
+    # -- receive path ---------------------------------------------------------
+    def _receiver(self) -> Generator:
+        yield self.ready
+        while True:
+            if self.failed or not self._posted:
+                self.failed = True
+                return
+            wr = self.next_recv()
+            yield wr.completion
+            if not wr.cqe.ok:
+                self.failed = True
+                return
+            raw = wr.received
+            self.repost_recv(wr.pool_region)
+            header = RpcRdmaHeader.decode(raw)
+            # Handle each message off the receive loop so long fetches
+            # don't head-of-line-block subsequent requests; a connection
+            # dying mid-fetch fails that request, not the server.
+            self.sim.process(self._handle_message_safely(header),
+                             name=f"{self.name}.req")
+
+    def _handle_message_safely(self, header: RpcRdmaHeader) -> Generator:
+        try:
+            yield from self._handle_message(header)
+        except (QPError, TransportError):
+            self.failed = True
+
+    def _handle_message(self, header: RpcRdmaHeader) -> Generator:
+        if header.mtype is MessageType.RDMA_DONE:
+            yield from self._handle_done(header)
+            return
+        yield from self.node.cpu.consume(self.config.per_op_cpu_us)
+        ctx: dict = {"regions": [], "header": header}
+        # 1. Obtain the RPC message (inline or long call).
+        if header.mtype is MessageType.RDMA_NOMSG:
+            body_chunks = header.chunks.read_chunks_at(0)
+            length = sum(c.length for c in body_chunks)
+            region = yield from self.strategy.acquire(length, AccessFlags.LOCAL_WRITE)
+            yield from self.fetch_chunks([c.segment for c in body_chunks], region, length)
+            message = region.peek(length)
+            yield from self.strategy.release(region)
+        else:
+            message = header.rpc_message
+        rpc_header, inline_payload = unframe_message(message)
+        call = RpcCall.decode(rpc_header)
+        call.write_payload = inline_payload
+        # 2. Fetch NFS WRITE data chunks (both designs: server RDMA Read,
+        #    synchronous — the worker blocks inside fetch_chunks).
+        data_chunks = header.chunks.read_chunks_at(DATA_CHUNK_POSITION)
+        if data_chunks:
+            length = sum(c.length for c in data_chunks)
+            region = yield from self.strategy.acquire(length, AccessFlags.LOCAL_WRITE)
+            ctx["regions"].append(region)
+            yield from self.fetch_chunks([c.segment for c in data_chunks], region, length)
+            call.write_payload = region.peek(length)
+        self.calls_received.add()
+        assert self.server is not None
+        self.server.submit(call, self._responder(ctx))
+
+    def _handle_done(self, header: RpcRdmaHeader) -> Generator:
+        """Read-Read only; the base treats it as a protocol error."""
+        raise TransportError(f"{self.name}: unexpected RDMA_DONE")
+        yield  # pragma: no cover
+
+    def _responder(self, ctx: dict):
+        def respond(reply: RpcReply) -> Generator:
+            try:
+                yield from self._respond(ctx, reply)
+            except (QPError, TransportError):
+                # The client's connection died while we replied: drop
+                # the reply, keep the worker; resources still release.
+                self.failed = True
+            finally:
+                for region in ctx["regions"]:
+                    yield from self.strategy.release(region)
+
+        return respond
+
+    def _respond(self, ctx: dict, reply: RpcReply) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def disconnect(self) -> Generator:
+        """Process: tear the connection down and reclaim every resource.
+
+        This is the operational defense against misbehaving clients:
+        whatever a client managed to pin (§4.1's withheld-DONE attack)
+        comes back the moment the server drops the connection.
+        """
+        if self.credit_policy is not None:
+            self.credit_policy.unregister_connection(self.qp.qp_num)
+        self.qp.enter_error("server-initiated disconnect")
+        self.failed = True
+        yield from self._reclaim_on_disconnect()
+
+    def _reclaim_on_disconnect(self) -> Generator:
+        """Subclass hook: release design-specific pinned state."""
+        return
+        yield  # pragma: no cover

@@ -1,0 +1,37 @@
+"""Tunables for the RPC/RDMA transports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RpcRdmaConfig"]
+
+
+@dataclass(frozen=True)
+class RpcRdmaConfig:
+    """Transport parameters shared by both designs.
+
+    ``inline_threshold`` is the Fig 2 inline size: RPC messages that fit
+    travel inside the RDMA Send; larger bodies become long calls/replies
+    via chunks.  ``credits`` is the flow-control field's grant — also
+    the number of pre-posted receive buffers per connection and the cap
+    on a client's outstanding calls.
+    """
+
+    inline_threshold: int = 1024
+    credits: int = 32
+    max_transfer_bytes: int = 1 << 20          # rsize/wsize ceiling
+    bounce_pool_entries: int = 32              # Read-Read client bounce buffers
+    bounce_buffer_bytes: int = 1 << 20
+    per_op_cpu_us: float = 3.0                 # transport bookkeeping per op/side
+    done_handler_cpu_us: float = 2.0           # Read-Read server DONE processing
+
+    def __post_init__(self):
+        if self.inline_threshold < 256:
+            raise ValueError("inline threshold unrealistically small")
+        if self.credits < 1:
+            raise ValueError("need at least one credit")
+        if self.max_transfer_bytes < self.inline_threshold:
+            raise ValueError("max transfer below inline threshold")
+        if self.bounce_buffer_bytes < self.max_transfer_bytes:
+            raise ValueError("bounce buffers must cover max transfer size")

@@ -1,0 +1,70 @@
+"""RPC/RDMA credit-based flow control (the Fig 2 credits field).
+
+The server grants the client a fixed number of request credits — the
+number of receive buffers it has pre-posted on the connection.  A
+client that respects its grant can never trigger receiver-not-ready
+retries.  Replies refresh the grant; the manager also lets the server
+*revoke* credit (shrink the grant) under memory pressure, the
+future-work knob §7 mentions.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim import Container, Counter, Simulator
+
+__all__ = ["CreditManager"]
+
+
+class CreditManager:
+    """Client-side gate on outstanding requests."""
+
+    def __init__(self, sim: Simulator, initial_grant: int, name: str = "credits"):
+        if initial_grant < 1:
+            raise ValueError("initial credit grant must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.grant = initial_grant
+        self._pool = Container(sim, capacity=float("inf"), init=initial_grant,
+                               name=f"{name}.pool")
+        self.waits = Counter(f"{name}.waits")
+        self.outstanding_peak = 0
+        self._outstanding = 0
+        self._deficit = 0
+
+    @property
+    def available(self) -> float:
+        return self._pool.level
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    def acquire(self) -> Generator:
+        """Process: take one credit, blocking while the grant is exhausted."""
+        if self._pool.level <= 0:
+            self.waits.add()
+        yield self._pool.get(1)
+        self._outstanding += 1
+        self.outstanding_peak = max(self.outstanding_peak, self._outstanding)
+
+    def release(self, new_grant: int | None = None) -> None:
+        """Return one credit; optionally apply a refreshed grant size.
+
+        A grown grant releases extra credits immediately; a shrunken
+        grant withholds refunds until the deficit is absorbed.
+        """
+        if self._outstanding <= 0:
+            raise RuntimeError(f"{self.name}: credit released but none outstanding")
+        self._outstanding -= 1
+        refund = 1
+        if new_grant is not None and new_grant != self.grant:
+            refund += new_grant - self.grant
+            self.grant = new_grant
+        refund -= self._deficit
+        self._deficit = 0
+        if refund > 0:
+            self._pool.put(refund)
+        elif refund < 0:
+            self._deficit = -refund

@@ -1,0 +1,72 @@
+"""The RPC/RDMA header of Fig 2.
+
+Transaction XID, RPC/RDMA version, credit (flow-control) field, message
+type, then the three chunk lists, then — for ``RDMA_MSG`` — the RPC
+message proper.  ``RDMA_NOMSG`` means the RPC message body travels as
+read chunks (the long call / long reply); ``RDMA_DONE`` is the
+Read-Read design's completion signal that lets the server release its
+exposed buffers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from repro.core.chunks import ChunkList
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, XdrError
+
+__all__ = ["MessageType", "RpcRdmaHeader", "RPC_RDMA_VERSION"]
+
+RPC_RDMA_VERSION = 1
+
+
+class MessageType(enum.IntEnum):
+    RDMA_MSG = 0    # RPC call/reply follows inline
+    RDMA_NOMSG = 1  # RPC body entirely in chunks
+    RDMA_MSGP = 2   # padded variant (alignment optimisation)
+    RDMA_DONE = 3   # client signals chunk consumption (Read-Read only)
+
+
+@dataclass
+class RpcRdmaHeader:
+    """One transport header, always sent inline via RDMA Send."""
+
+    xid: int
+    credits: int
+    mtype: MessageType
+    chunks: ChunkList = field(default_factory=ChunkList)
+    rpc_message: bytes = b""
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder()
+        enc.u32(self.xid)
+        enc.u32(RPC_RDMA_VERSION)
+        enc.u32(self.credits)
+        enc.u32(int(self.mtype))
+        self.chunks.encode(enc)
+        if self.mtype in (MessageType.RDMA_MSG, MessageType.RDMA_MSGP):
+            enc.opaque(self.rpc_message)
+        return enc.take()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RpcRdmaHeader":
+        dec = XdrDecoder(data)
+        xid = dec.u32()
+        version = dec.u32()
+        if version != RPC_RDMA_VERSION:
+            raise XdrError(f"unsupported RPC/RDMA version {version}")
+        credits = dec.u32()
+        try:
+            mtype = MessageType(dec.u32())
+        except ValueError as exc:
+            raise XdrError(str(exc)) from None
+        chunks = ChunkList.decode(dec)
+        message = b""
+        if mtype in (MessageType.RDMA_MSG, MessageType.RDMA_MSGP):
+            message = dec.opaque()
+        return cls(xid=xid, credits=credits, mtype=mtype, chunks=chunks,
+                   rpc_message=message)
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.encode())

@@ -1,0 +1,236 @@
+"""Callaghan's original Read-Read design (§3, critiqued in §4.1).
+
+All bulk data moves by RDMA Read.  For NFS READ and long replies the
+*server* registers its buffers with remote-read rights and returns their
+steering tags as read chunks in the RPC reply; the client issues the
+RDMA Reads, then sends ``RDMA_DONE`` so the server can deregister and
+release.  Faithfully modeled liabilities:
+
+* **Exposed server stags** — every bulk reply leaves windows in the
+  server TPT that any guessed 32-bit stag could hit
+  (:meth:`ReadReadServer.exposed_regions` is the audit hook).
+* **Client-controlled lifetime** — buffers stay pinned until the DONE
+  arrives; a malicious or crashed client pins them forever
+  (:attr:`ReadReadServer.pending_done`).
+* **Client data copy** — the client reads into pre-registered bounce
+  buffers and memcpy's to the application (no per-op client
+  registration, but burning client CPU — the 24 % line in Fig 6).
+* **Read serialisation** — the client's RDMA Reads are served one at a
+  time by the server HCA's per-QP read engine and capped by IRD/ORD.
+* **Extra messages/interrupts** — the DONE send costs wire, server CPU
+  and a server interrupt per bulk operation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.base import (
+    DATA_CHUNK_POSITION,
+    RpcRdmaClientBase,
+    RpcRdmaServerBase,
+    TransportError,
+)
+from repro.core.chunks import ChunkList, ReadChunk
+from repro.core.header import MessageType, RpcRdmaHeader
+from repro.core.strategies import RegisteredRegion
+from repro.ib.memory import AccessFlags
+from repro.rpc.msg import RpcCall, RpcReply, frame_message, unframe_message
+from repro.sim import Counter, Store
+
+__all__ = ["ReadReadClient", "ReadReadServer"]
+
+
+class ReadReadClient(RpcRdmaClientBase):
+    """Client half of the Read-Read design (bounce buffers + copies)."""
+
+    design = "read-read"
+
+    def __init__(self, node, qp, config, strategy, name=""):
+        super().__init__(node, qp, config, strategy, name)
+        self.bounce_pool: Store = Store(self.sim, name=f"{self.name}.bounce")
+        self.dones_sent = Counter(f"{self.name}.dones")
+        self.bounce_copies_bytes = Counter(f"{self.name}.bounce_copy_bytes")
+
+    def _setup_pools(self) -> Generator:
+        yield from super()._setup_pools()
+        # Pre-registered bounce buffers: the Read-Read client never
+        # registers per-operation — it pays in copies instead.
+        tpt = self.node.hca.tpt
+        for _ in range(self.config.bounce_pool_entries):
+            buffer = self.node.arena.alloc(self.config.bounce_buffer_bytes)
+            mr = yield from tpt.register(buffer, AccessFlags.LOCAL_WRITE)
+            from repro.ib.verbs import Segment
+
+            self.bounce_pool.put(
+                RegisteredRegion(
+                    buffer=buffer,
+                    segments=[Segment(mr.stag, buffer.addr, buffer.length)],
+                    access=AccessFlags.LOCAL_WRITE,
+                    owned=True,
+                    mr=mr,
+                )
+            )
+
+    def _prepare_reply_resources(self, call: RpcCall, chunks: ChunkList, ctx: dict) -> Generator:
+        # Nothing to advertise: the server will expose *its* buffers in
+        # the reply — the defining (and insecure) move of this design.
+        return
+        yield  # pragma: no cover
+
+    def _handle_reply(self, header: RpcRdmaHeader, ctx: dict) -> Generator:
+        fetched_chunks = False
+        # Long reply: the entire RPC message is a position-0 read chunk
+        # in the server's memory; fetch it.
+        if header.mtype is MessageType.RDMA_NOMSG:
+            body = header.chunks.read_chunks_at(0)
+            if not body:
+                raise TransportError(f"{self.name}: NOMSG reply without chunks")
+            length = sum(c.length for c in body)
+            message = yield from self._fetch_via_bounce([c.segment for c in body], length)
+            fetched_chunks = True
+        elif header.mtype is MessageType.RDMA_MSG:
+            message = header.rpc_message
+        else:
+            raise TransportError(f"{self.name}: unexpected reply type {header.mtype}")
+        rpc_header, inline_payload = unframe_message(message)
+        reply = RpcReply.decode(rpc_header)
+        reply.read_payload = inline_payload
+        # READ data chunks: server-exposed; client issues the RDMA Reads.
+        data = header.chunks.read_chunks_at(DATA_CHUNK_POSITION)
+        if data:
+            length = sum(c.length for c in data)
+            reply.read_payload = yield from self._fetch_via_bounce(
+                [c.segment for c in data], length
+            )
+            fetched_chunks = True
+        if fetched_chunks:
+            # Tell the server it may free its exposed buffers.
+            yield from self._send_done(header.xid)
+        return reply
+
+    def _fetch_via_bounce(self, segments, length: int) -> Generator:
+        """RDMA-Read server chunks into a bounce buffer, copy out."""
+        if length > self.config.bounce_buffer_bytes:
+            raise TransportError(
+                f"{self.name}: {length} bytes exceed bounce buffer size"
+            )
+        bounce: RegisteredRegion = yield self.bounce_pool.get()
+        try:
+            yield from self.fetch_chunks(segments, bounce, length)
+            # The copy the Read-Write design eliminates (Fig 6's CPU gap):
+            # bounce buffer -> application memory.
+            yield from self.node.cpu.copy(length)
+            self.bounce_copies_bytes.add(length)
+            return bounce.peek(length)
+        finally:
+            self.bounce_pool.put(bounce)
+
+    def _send_done(self, xid: int) -> Generator:
+        done = RpcRdmaHeader(
+            xid=xid,
+            credits=self.config.credits,
+            mtype=MessageType.RDMA_DONE,
+        )
+        yield from self.send_header(done)
+        self.dones_sent.add()
+
+
+class ReadReadServer(RpcRdmaServerBase):
+    """Server half of the Read-Read design (exposes buffers, awaits DONE)."""
+
+    design = "read-read"
+
+    def __init__(self, node, qp, config, strategy, name="", credit_policy=None):
+        super().__init__(node, qp, config, strategy, name,
+                         credit_policy=credit_policy)
+        # DONE messages consume receives beyond the credit grant; post
+        # double the receives so bulk-heavy workloads never go RNR.
+        self.recv_pool.count = config.credits * 2
+        #: xid -> regions awaiting the client's RDMA_DONE.
+        self.pending_done: dict[int, list[RegisteredRegion]] = {}
+        self.dones_received = Counter(f"{self.name}.dones")
+        self.exposed_bytes_peak = 0
+
+    def _respond(self, ctx: dict, reply: RpcReply) -> Generator:
+        reply_chunks = ChunkList()
+        reply_bytes = reply.encode()
+        inline_payload: Optional[bytes] = None
+        exposed: list[RegisteredRegion] = []
+        payload = reply.read_payload
+
+        if payload:
+            if 4 + len(reply_bytes) + len(payload) + 64 <= self.config.inline_threshold:
+                inline_payload = payload
+            else:
+                # Expose a server buffer for the client to RDMA Read —
+                # the security hole §4.1 identifies.
+                region = yield from self.strategy.acquire(
+                    len(payload), AccessFlags.REMOTE_READ
+                )
+                region.fill(payload)
+                exposed.append(region)
+                from repro.core.base import slice_segments
+
+                reply_chunks.read_chunks.extend(
+                    ReadChunk(position=DATA_CHUNK_POSITION, segment=seg)
+                    for seg in slice_segments(region.segments, 0, len(payload))
+                )
+
+        message = frame_message(reply_bytes, inline_payload)
+        header = RpcRdmaHeader(
+            xid=reply.xid,
+            credits=self.grant(),
+            mtype=MessageType.RDMA_MSG,
+            chunks=reply_chunks,
+            rpc_message=message,
+        )
+        if header.wire_size > self.config.inline_threshold:
+            # RPC long reply, Read-Read style: expose the message itself.
+            region = yield from self.strategy.acquire(len(message), AccessFlags.REMOTE_READ)
+            region.fill(message)
+            exposed.append(region)
+            reply_chunks.read_chunks = [
+                ReadChunk(position=0, segment=seg) for seg in region.segments
+            ] + [c for c in reply_chunks.read_chunks if c.position != 0]
+            header = RpcRdmaHeader(
+                xid=reply.xid,
+                credits=self.grant(),
+                mtype=MessageType.RDMA_NOMSG,
+                chunks=reply_chunks,
+                rpc_message=b"",
+            )
+        if exposed:
+            # Lifetime now rests with the client: nothing is released
+            # until (unless!) its RDMA_DONE arrives.
+            self.pending_done[reply.xid] = exposed
+            self.exposed_bytes_peak = max(
+                self.exposed_bytes_peak,
+                sum(r.length for rs in self.pending_done.values() for r in rs),
+            )
+        yield from self.send_header(header)
+
+    def _handle_done(self, header: RpcRdmaHeader) -> Generator:
+        yield from self.node.cpu.consume(self.config.done_handler_cpu_us)
+        self.dones_received.add()
+        regions = self.pending_done.pop(header.xid, None)
+        if regions is None:
+            return  # duplicate/stray DONE: ignore, as a robust server must
+        for region in regions:
+            yield from self.strategy.release(region)
+
+    def _reclaim_on_disconnect(self) -> Generator:
+        """Release every window awaiting a DONE that will never come."""
+        while self.pending_done:
+            _, regions = self.pending_done.popitem()
+            for region in regions:
+                yield from self.strategy.release(region)
+
+    # -- audit hooks ---------------------------------------------------------
+    def exposed_regions(self) -> list[RegisteredRegion]:
+        """Server windows currently readable by the client (attack surface)."""
+        return [r for regions in self.pending_done.values() for r in regions]
+
+    @property
+    def pending_done_count(self) -> int:
+        return len(self.pending_done)

@@ -1,0 +1,5 @@
+"""Experiment harness: cluster builder and one module per paper figure."""
+
+from repro.experiments.cluster import Cluster, ClusterConfig
+
+__all__ = ["Cluster", "ClusterConfig"]

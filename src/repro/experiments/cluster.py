@@ -1,0 +1,259 @@
+"""Builds complete simulated NFS deployments.
+
+One call assembles the full stack of DESIGN.md §2 — nodes, fabric or
+TCP network, RPC transport (either RDMA design or TCP on IPoIB/GigE),
+registration strategy, RPC dispatcher, NFS server, backend file system
+— and hands back per-client NFS mounts.  Every test, example and
+benchmark builds on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.analysis.calibration import SOLARIS_SDR, TestbedProfile
+from repro.core import (
+    ClientRegistrationCache,
+    DynamicRegistration,
+    ReadReadClient,
+    ReadReadServer,
+    ReadWriteClient,
+    ReadWriteServer,
+    RegistrationCacheStrategy,
+)
+from repro.core.strategies import AllPhysicalStrategy, FmrStrategy, RegistrationStrategy
+from repro.fs import BlockFs, DiskConfig, Raid0, TmpFs
+from repro.ib.fabric import Fabric, IBNode
+from repro.nfs import NfsClient, NfsServer
+from repro.rpc import RpcServer, TcpRpcClient, TcpRpcServerTransport
+from repro.rpc.svc import RpcServerCosts
+from repro.sim import Simulator
+from repro.tcpip import TcpConnection, TcpEndpoint
+
+__all__ = ["Cluster", "ClusterConfig", "Mount"]
+
+TRANSPORTS = ("rdma-rw", "rdma-rr", "tcp-ipoib", "tcp-gige")
+STRATEGIES = ("dynamic", "fmr", "cache", "client-cache", "all-physical")
+BACKENDS = ("tmpfs", "raid")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """What to build."""
+
+    profile: TestbedProfile = SOLARIS_SDR
+    transport: str = "rdma-rw"
+    strategy: str = "dynamic"
+    backend: str = "tmpfs"
+    nclients: int = 1
+    seed: int = 2007
+    #: raid backend: server page cache (the Fig 10 4 GB / 8 GB knob).
+    cache_bytes: int = 4 << 30
+    ndisks: int = 8
+    disk_mb_s: float = 30.0
+    page_bytes: int = 64 * 1024
+    #: registration-cache memory budget (inf = unbounded).
+    regcache_budget_bytes: float = float("inf")
+
+    def __post_init__(self):
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.nclients < 1:
+            raise ValueError("need at least one client")
+
+    @property
+    def is_rdma(self) -> bool:
+        return self.transport.startswith("rdma")
+
+
+@dataclass
+class Mount:
+    """One client's view: node + transport + NFS client."""
+
+    node: IBNode
+    transport: object
+    nfs: NfsClient
+
+
+class Cluster:
+    """A fully wired simulated NFS deployment."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        profile = config.profile
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, seed=config.seed)
+        allow_phys = config.strategy == "all-physical"
+
+        self.server_node = self.fabric.add_node(
+            "server",
+            cpu_config=profile.server_cpu,
+            hca_config=profile.server_hca,
+            link_config=profile.link,
+            interrupt_cost_us=profile.interrupt_cost_us,
+            allow_physical=allow_phys,
+        )
+        self.client_nodes = [
+            self.fabric.add_node(
+                f"client{i}",
+                cpu_config=profile.client_cpu,
+                hca_config=profile.client_hca,
+                link_config=profile.link,
+                interrupt_cost_us=profile.interrupt_cost_us,
+                allow_physical=allow_phys,
+            )
+            for i in range(config.nclients)
+        ]
+
+        # Backend file system.
+        if config.backend == "tmpfs":
+            self.fs = TmpFs(self.sim, self.server_node.cpu)
+            self.raid = None
+        else:
+            self.raid = Raid0(
+                self.sim,
+                ndisks=config.ndisks,
+                disk_config=DiskConfig(streaming_mb_s=config.disk_mb_s),
+                stripe_unit_bytes=config.page_bytes,
+            )
+            self.fs = BlockFs(
+                self.sim,
+                self.server_node.cpu,
+                self.raid,
+                cache_bytes=config.cache_bytes,
+                page_bytes=config.page_bytes,
+            )
+
+        # RPC dispatcher + NFS program.
+        self.rpc_server = RpcServer(
+            self.sim,
+            self.server_node.cpu,
+            nthreads=profile.server_threads,
+            costs=RpcServerCosts(),
+            name="rpcsvc",
+        )
+        self.nfs_server = NfsServer(
+            self.rpc_server, self.fs,
+            max_transfer_bytes=profile.rpcrdma.max_transfer_bytes,
+        )
+
+        # One shared server-side registration strategy (the registration
+        # cache is a server-global structure; dynamic/FMR are stateless
+        # enough that sharing matches a real kernel transport).
+        self.server_strategy = self._make_strategy(config.strategy, self.server_node)
+        self.server_transports: list = []
+        self.mounts: list[Mount] = []
+
+        for node in self.client_nodes:
+            mount = self._connect_client(node)
+            self.mounts.append(mount)
+
+    # -- wiring -----------------------------------------------------------
+    def _make_strategy(self, kind: str, node: IBNode) -> RegistrationStrategy:
+        if kind == "dynamic":
+            return DynamicRegistration(node)
+        if kind == "fmr":
+            return FmrStrategy(node)
+        if kind == "cache":
+            if node is self.server_node:
+                return RegistrationCacheStrategy(
+                    node, budget_bytes=self.config.regcache_budget_bytes
+                )
+            # §4.3: the cache is a *server* design; clients register
+            # dynamically (the client-side variant is an extension).
+            return DynamicRegistration(node)
+        if kind == "client-cache":
+            # Extension (TR): registration caches on BOTH sides.
+            if node is self.server_node:
+                return RegistrationCacheStrategy(
+                    node, budget_bytes=self.config.regcache_budget_bytes
+                )
+            return ClientRegistrationCache(node)
+        if kind == "all-physical":
+            return AllPhysicalStrategy(node)
+        raise ValueError(kind)
+
+    def _connect_client(self, node: IBNode) -> Mount:
+        config = self.config
+        profile = config.profile
+        if config.is_rdma:
+            qp_c, qp_s = self.fabric.connect(node, self.server_node)
+            client_strategy = self._make_strategy(config.strategy, node)
+            if config.transport == "rdma-rw":
+                client = ReadWriteClient(node, qp_c, profile.rpcrdma, client_strategy)
+                server = ReadWriteServer(
+                    self.server_node, qp_s, profile.rpcrdma, self.server_strategy
+                )
+            else:
+                client = ReadReadClient(node, qp_c, profile.rpcrdma, client_strategy)
+                server = ReadReadServer(
+                    self.server_node, qp_s, profile.rpcrdma, self.server_strategy
+                )
+            server.attach(self.rpc_server)
+            # CM handshake: the client may not send until the server side
+            # has pre-posted its receives.
+            client.peer_ready = server.ready
+            self.server_transports.append(server)
+            transport = client
+        else:
+            nic = profile.ipoib if config.transport == "tcp-ipoib" else profile.gige
+            client_ep = TcpEndpoint(self.sim, node.cpu, node.irq, nic,
+                                    name=f"{node.name}.tcp")
+            server_ep = TcpEndpoint(
+                self.sim, self.server_node.cpu, self.server_node.irq, nic,
+                name=f"server.tcp.{node.name}",
+            )
+            # All per-client server endpoints share the single physical
+            # server port so aggregate bandwidth is capped correctly.
+            if not hasattr(self, "_server_port"):
+                self._server_port = server_ep.port
+            server_ep.port = self._server_port
+            conn = TcpConnection(client_ep, server_ep)
+            transport = TcpRpcClient(client_ep, conn)
+            server = TcpRpcServerTransport(server_ep, conn)
+            server.attach(self.rpc_server)
+            self.server_transports.append(server)
+        nfs = NfsClient(transport, self.nfs_server.root_handle(),
+                        name=f"{node.name}.nfs")
+        return Mount(node=node, transport=transport, nfs=nfs)
+
+    def reconnect_client(self, index: int) -> Mount:
+        """Re-establish a client's connection after a fatal QP error.
+
+        Mirrors what a kernel RPC transport does on connection loss:
+        tear down the old endpoint (the server side reclaims anything
+        the dead client pinned — §4.1's operational defense), build a
+        fresh QP pair and transport, and resume with the same file
+        handles (NFS is stateless; handles survive reconnection).
+        """
+        old = self.mounts[index]
+        dead_server = self.server_transports[index] if index < len(
+            self.server_transports) else None
+        if dead_server is not None and hasattr(dead_server, "disconnect"):
+            self.sim.process(dead_server.disconnect(),
+                             name="server.disconnect")
+        mount = self._connect_client(old.node)
+        self.mounts[index] = mount
+        return mount
+
+    # -- measurement helpers ----------------------------------------------
+    def reset_utilization_windows(self) -> None:
+        self.server_node.cpu.reset_utilization_window()
+        for node in self.client_nodes:
+            node.cpu.reset_utilization_window()
+
+    def client_cpu_utilization(self) -> float:
+        """Mean utilization across client nodes (fraction of all cores)."""
+        if not self.client_nodes:
+            return 0.0
+        return sum(n.cpu.utilization() for n in self.client_nodes) / len(self.client_nodes)
+
+    def server_cpu_utilization(self) -> float:
+        return self.server_node.cpu.utilization()
+
+    def run(self, proc):
+        """Run one process to completion and return its value."""
+        return self.sim.run_until_complete(self.sim.process(proc))

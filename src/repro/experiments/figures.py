@@ -1,0 +1,298 @@
+"""One runner per table/figure in the paper's evaluation (§5).
+
+Each ``run_*`` function rebuilds the corresponding experiment and
+returns an :class:`ExperimentResult` whose rows mirror the series the
+paper plots.  ``scale`` trades fidelity for runtime: ``quick`` is sized
+for CI/benchmarks, ``full`` for EXPERIMENTS.md regeneration.  Absolute
+numbers come from the calibrated profiles (DESIGN.md §4); the *shape*
+targets from the paper are embedded here so reports can show
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis import LINUX_DDR_RAID, LINUX_SDR, SOLARIS_SDR
+from repro.analysis.stats import format_table
+from repro.experiments.cluster import Cluster, ClusterConfig
+from repro.security import audit_server_exposure, probe_primitive_properties
+from repro.workloads import IozoneParams, OltpParams, run_iozone, run_oltp
+
+__all__ = [
+    "ExperimentResult",
+    "run_table1",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_security_audit",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output: headers + rows + the paper's reference claims."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list]
+    paper_reference: str
+
+    def table(self) -> str:
+        return format_table(self.headers, self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return (
+            f"== {self.experiment} ==\n{self.table()}\n"
+            f"paper: {self.paper_reference}\n"
+        )
+
+
+def _ops(scale: str, quick: int, full: int) -> int:
+    return quick if scale == "quick" else full
+
+
+# ---------------------------------------------------------------- Table 1
+def run_table1(scale: str = "quick") -> ExperimentResult:
+    """Table 1: communication-primitive properties, probed live."""
+    rows = [
+        [p.primitive,
+         "X" if p.receive_buffer_exposed else "",
+         "X" if p.receive_buffer_pre_posted else "",
+         "X" if p.steering_tag else "",
+         "X" if p.rendezvous else ""]
+        for p in probe_primitive_properties()
+    ]
+    return ExperimentResult(
+        experiment="Table 1: Communication Primitive Properties",
+        headers=["primitive", "recv buffer exposed", "recv pre-posted",
+                 "steering tag", "rendezvous"],
+        rows=rows,
+        paper_reference=(
+            "channel: only pre-posted; memory: exposed + steering tag + "
+            "rendezvous (Table 1)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------- Fig 5
+def run_fig5(scale: str = "quick") -> ExperimentResult:
+    """Fig 5: IOzone READ bandwidth, Solaris, Read-Read vs Read-Write."""
+    ops = _ops(scale, 40, 120)
+    threads_list = (1, 2, 4, 8) if scale == "quick" else (1, 2, 3, 4, 5, 6, 7, 8)
+    rows = []
+    for record in (128 * 1024, 1 << 20):
+        for design, label in (("rdma-rr", "RR"), ("rdma-rw", "RW")):
+            for threads in threads_list:
+                cluster = Cluster(ClusterConfig(
+                    transport=design, strategy="dynamic", profile=SOLARIS_SDR))
+                result = run_iozone(cluster, IozoneParams(
+                    nthreads=threads, record_bytes=record, ops_per_thread=ops))
+                rows.append([
+                    f"{label}-{record // 1024}K", threads,
+                    round(result.read_mb_s, 1),
+                ])
+    return ExperimentResult(
+        experiment="Fig 5: IOzone Read Bandwidth on Solaris (RR vs RW)",
+        headers=["series", "threads", "read MB/s"],
+        rows=rows,
+        paper_reference=(
+            "RR saturates ~375 MB/s, RW ~400 MB/s; RW leads by ~47% at 1 "
+            "thread/128K shrinking to ~5% at 8 threads; record size barely "
+            "matters"
+        ),
+    )
+
+
+# ---------------------------------------------------------------- Fig 6
+def run_fig6(scale: str = "quick") -> ExperimentResult:
+    """Fig 6: IOzone WRITE bandwidth + client CPU, Solaris, RR vs RW."""
+    ops = _ops(scale, 40, 120)
+    threads_list = (1, 2, 4, 8) if scale == "quick" else (1, 2, 3, 4, 5, 6, 7, 8)
+    rows = []
+    for record in (128 * 1024, 1 << 20):
+        for design, label in (("rdma-rr", "RR"), ("rdma-rw", "RW")):
+            for threads in threads_list:
+                cluster = Cluster(ClusterConfig(
+                    transport=design, strategy="dynamic", profile=SOLARIS_SDR))
+                result = run_iozone(cluster, IozoneParams(
+                    nthreads=threads, record_bytes=record, ops_per_thread=ops))
+                rows.append([
+                    f"{label}-{record // 1024}K", threads,
+                    round(result.write_mb_s, 1),
+                    round(result.client_cpu_read * 100, 1),
+                ])
+    return ExperimentResult(
+        experiment="Fig 6: IOzone Write Bandwidth on Solaris + client CPU",
+        headers=["series", "threads", "write MB/s", "client CPU % (read)"],
+        rows=rows,
+        paper_reference=(
+            "write paths nearly identical (both RDMA-Read based, bounded by "
+            "read serialization); client CPU: RR 4%->24%, RW flat 2%->5%"
+        ),
+    )
+
+
+# ---------------------------------------------------------------- Fig 7
+def run_fig7(scale: str = "quick") -> ExperimentResult:
+    """Fig 7: registration strategies on OpenSolaris (read + write)."""
+    ops = _ops(scale, 40, 120)
+    threads_list = (1, 2, 4, 8) if scale == "quick" else (1, 2, 3, 4, 5, 6, 7, 8)
+    rows = []
+    for strategy, label in (("dynamic", "Register"), ("fmr", "FMR"),
+                            ("cache", "Cache")):
+        for threads in threads_list:
+            cluster = Cluster(ClusterConfig(
+                transport="rdma-rw", strategy=strategy, profile=SOLARIS_SDR))
+            result = run_iozone(cluster, IozoneParams(
+                nthreads=threads, record_bytes=128 * 1024, ops_per_thread=ops))
+            rows.append([
+                f"RW-{label}-Solaris", threads,
+                round(result.read_mb_s, 1), round(result.write_mb_s, 1),
+                round(result.client_cpu_read * 100, 1),
+            ])
+    return ExperimentResult(
+        experiment="Fig 7: IOzone bandwidth by registration strategy (Solaris)",
+        headers=["series", "threads", "read MB/s", "write MB/s", "client CPU %"],
+        rows=rows,
+        paper_reference=(
+            "read: Register ~350, FMR ~400, Cache ~730 MB/s; write: FMR "
+            "modest, Cache ~515 MB/s (bounded by RDMA Read serialization)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------- Fig 8
+def run_fig8(scale: str = "quick") -> ExperimentResult:
+    """Fig 8: FileBench OLTP ops/s and CPU/op by strategy."""
+    readers_list = (10, 50, 100) if scale == "quick" else (10, 25, 50, 100, 150, 200)
+    ops = _ops(scale, 4, 8)
+    rows = []
+    for strategy, label in (("dynamic", "Register"), ("fmr", "FMR"),
+                            ("cache", "Cache")):
+        for readers in readers_list:
+            cluster = Cluster(ClusterConfig(
+                transport="rdma-rw", strategy=strategy, profile=SOLARIS_SDR))
+            result = run_oltp(cluster, OltpParams(
+                readers=readers, writers=max(2, readers // 5), log_writers=1,
+                datafile_bytes=16 << 20, ops_per_thread=ops))
+            rows.append([
+                label, readers, round(result.ops_per_s),
+                round(result.client_cpu_us_per_op, 1),
+            ])
+    return ExperimentResult(
+        experiment="Fig 8: FileBench OLTP performance by strategy",
+        headers=["strategy", "readers", "ops/s", "client CPU us/op"],
+        rows=rows,
+        paper_reference=(
+            "registration cache improves throughput up to ~50% over dynamic "
+            "registration; FMR comparable to dynamic; CPU/op slightly higher "
+            "for cache"
+        ),
+    )
+
+
+# ---------------------------------------------------------------- Fig 9
+def run_fig9(scale: str = "quick") -> ExperimentResult:
+    """Fig 9: registration strategies on Linux (read + write)."""
+    ops = _ops(scale, 40, 120)
+    threads_list = (1, 2, 4, 8) if scale == "quick" else (1, 2, 3, 4, 5, 6, 7, 8)
+    rows = []
+    for strategy, label in (("dynamic", "Register"), ("fmr", "FMR"),
+                            ("all-physical", "All-Physical")):
+        for threads in threads_list:
+            cluster = Cluster(ClusterConfig(
+                transport="rdma-rw", strategy=strategy, profile=LINUX_SDR))
+            result = run_iozone(cluster, IozoneParams(
+                nthreads=threads, record_bytes=128 * 1024, ops_per_thread=ops))
+            rows.append([
+                f"RW-{label}-Linux", threads,
+                round(result.read_mb_s, 1), round(result.write_mb_s, 1),
+                round(result.client_cpu_read * 100, 1),
+            ])
+    return ExperimentResult(
+        experiment="Fig 9: IOzone bandwidth by registration strategy (Linux)",
+        headers=["series", "threads", "read MB/s", "write MB/s", "client CPU %"],
+        rows=rows,
+        paper_reference=(
+            "read: Register < FMR < All-Physical (~900 MB/s peak); write: "
+            "All-Physical degrades below FMR (no scatter/gather -> more read "
+            "chunks -> IRD/ORD limit)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------- Fig 10
+#: Fig 10 scaling: the paper used 1 GB files against 4/8 GB of server
+#: memory; we keep the cache:file ratios (4x and 8x) at 1/16 scale so
+#: the LRU knee lands at the same client count.
+FIG10_FILE_BYTES = 64 << 20
+FIG10_CACHE_SMALL = 4 * FIG10_FILE_BYTES
+FIG10_CACHE_BIG = 8 * FIG10_FILE_BYTES
+
+
+def run_fig10(scale: str = "quick", cache_bytes: Optional[int] = None) -> ExperimentResult:
+    """Fig 10: multi-client IOzone READ over RDMA vs IPoIB vs GigE."""
+    clients_list = (1, 2, 3, 5, 8) if scale == "quick" else tuple(range(1, 9))
+    caches = ([cache_bytes] if cache_bytes is not None
+              else [FIG10_CACHE_SMALL, FIG10_CACHE_BIG])
+    rows = []
+    for cache in caches:
+        cache_label = f"{cache / FIG10_FILE_BYTES:.0f}x-file-cache"
+        for transport, label in (("rdma-rw", "RDMA"), ("tcp-ipoib", "IPoIB"),
+                                 ("tcp-gige", "GigE")):
+            strategy = "all-physical" if transport == "rdma-rw" else "dynamic"
+            for nclients in clients_list:
+                cluster = Cluster(ClusterConfig(
+                    transport=transport, strategy=strategy,
+                    backend="raid", cache_bytes=cache,
+                    nclients=nclients, profile=LINUX_DDR_RAID))
+                result = run_iozone(cluster, IozoneParams(
+                    nthreads=1, record_bytes=1 << 20,
+                    file_bytes=FIG10_FILE_BYTES, ops_per_thread=None))
+                rows.append([
+                    label, cache_label, nclients, round(result.read_mb_s, 1),
+                ])
+    return ExperimentResult(
+        experiment="Fig 10: Multi-client IOzone Read (RDMA vs IPoIB vs GigE)",
+        headers=["transport", "server cache", "clients", "aggregate read MB/s"],
+        rows=rows,
+        paper_reference=(
+            "4GB: RDMA peaks 883 MB/s at 3 clients then falls toward spindle "
+            "bandwidth; IPoIB ~326; GigE ~107 falling. 8GB: RDMA >900 MB/s "
+            "through 7 clients; IPoIB ~360"
+        ),
+    )
+
+
+# ---------------------------------------------------------------- security
+def run_security_audit(scale: str = "quick") -> ExperimentResult:
+    """§4.1 exposure comparison: attack surface of RR vs RW under load."""
+    rows = []
+    for transport in ("rdma-rr", "rdma-rw"):
+        cluster = Cluster(ClusterConfig(transport=transport))
+        run_iozone(cluster, IozoneParams(nthreads=4, ops_per_thread=20))
+        cluster.sim.run(until=cluster.sim.now + 100_000.0)
+        report = audit_server_exposure(cluster.server_node,
+                                       cluster.server_transports)
+        rows.append([
+            transport,
+            report["stags_exposed_ever"],
+            report["exposed_regions_now"],
+            report["pending_done_ops"],
+            report["protection_faults"],
+        ])
+    return ExperimentResult(
+        experiment="Security audit (§4.1): server attack surface under IOzone",
+        headers=["design", "server stags exposed (ever)", "exposed now",
+                 "pending DONE", "protection faults"],
+        rows=rows,
+        paper_reference=(
+            "Read-Read exposes a server window per bulk reply and depends on "
+            "client DONEs; Read-Write exposes zero server stags, ever"
+        ),
+    )

@@ -1,0 +1,99 @@
+"""Regenerate EXPERIMENTS.md: every table/figure, paper vs measured.
+
+Usage::
+
+    python -m repro.experiments.report [quick|full] [output-path]
+
+``full`` runs the complete thread/client sweeps (several minutes);
+``quick`` (default) runs the reduced grids the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import figures
+
+#: (runner, paper-vs-measured commentary extractor)
+ALL_EXPERIMENTS = [
+    figures.run_table1,
+    figures.run_fig5,
+    figures.run_fig6,
+    figures.run_fig7,
+    figures.run_fig8,
+    figures.run_fig9,
+    figures.run_fig10,
+    figures.run_security_audit,
+]
+
+PREAMBLE = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction record for **"Designing NFS with RDMA for Security,
+Performance and Scalability"** (ICPP 2007) on the simulated cluster
+(DESIGN.md describes the substitution).  Regenerate with::
+
+    python -m repro.experiments.report {scale}
+
+All bandwidths are simulated-clock MB/s (bytes / simulated microsecond).
+Absolute numbers depend on the calibrated profiles in
+`repro.analysis.calibration`; the claims being reproduced are the
+*shapes*: who wins, by what factor, and where saturation/knees fall.
+
+## Scaling notes
+
+* IOzone runs on the memory backend cover a prefix of each file
+  (`ops_per_thread`); steady-state bandwidth there does not depend on
+  file length.
+* Fig 10 keeps the paper's cache:file ratios (4x, 8x) at 1/16 scale
+  (64 MB files vs 256/512 MB server cache, same 8x30 MB/s spindles), so
+  the LRU knee lands at the same client count.
+
+## Known deviations
+
+* Fig 5's single-thread Read-Write advantage measures ~25-30% here vs
+  the paper's ~47%: the simulated Read-Read path lacks some per-wakeup
+  scheduling latency of the real client stack. The direction and decay
+  with thread count reproduce.
+* Fig 7a's Register/FMR plateaus land ~10% above the paper's figure
+  (400/430 vs 350/400); the paper's own Fig 5 reports ~400 for the same
+  configuration, so we calibrated between the two.
+* Fig 10a's GigE series holds flat ~110 MB/s rather than declining
+  slightly with client count (we do not model TCP congestion collapse).
+* Post-knee RDMA bandwidth in Fig 10a falls to the spindle floor
+  (~230 MB/s); the paper's decline is shallower (its LRU is softened by
+  the Solaris/Linux active-inactive page lists we do not model).
+
+"""
+
+
+def generate(scale: str = "quick") -> str:
+    sections = [PREAMBLE.format(scale=scale)]
+    for runner in ALL_EXPERIMENTS:
+        t0 = time.time()
+        result = runner(scale)
+        elapsed = time.time() - t0
+        sections.append(
+            f"## {result.experiment}\n\n"
+            f"**Paper:** {result.paper_reference}\n\n"
+            "```\n"
+            f"{result.table()}\n"
+            "```\n\n"
+            f"*(regenerated in {elapsed:.1f}s wall, scale={scale})*\n"
+        )
+    return "\n".join(sections)
+
+
+def main(argv: list[str]) -> int:
+    scale = argv[1] if len(argv) > 1 else "quick"
+    path = argv[2] if len(argv) > 2 else "EXPERIMENTS.md"
+    content = generate(scale)
+    with open(path, "w") as fh:
+        fh.write(content)
+    print(f"wrote {path} ({len(content)} bytes, scale={scale})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

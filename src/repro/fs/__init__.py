@@ -1,0 +1,38 @@
+"""Backend file systems: the substrates NFS serves from.
+
+The paper's two testbeds store data differently and that difference
+drives two sets of results:
+
+* **tmpfs** (Figs 5–8): a memory file system — service time is pure
+  CPU/memcpy, so the transport and registration machinery dominate.
+* **XFS on an 8-spindle RAID-0** (Fig 10): real disks at ≈30 MB/s each
+  behind a server page cache of 4 or 8 GB — aggregate throughput is
+  page-cache hit rate × memory speed + miss rate × spindle bandwidth,
+  which is exactly the shape of the multi-client curves.
+
+All file systems implement the same generator-based interface
+(:class:`repro.fs.api.FileSystem`) so the NFS server is
+backend-agnostic.
+"""
+
+from repro.fs.api import DirEntry, FileKind, FileSystem, FsAttributes, FsError, FsStat
+from repro.fs.tmpfs import TmpFs
+from repro.fs.disk import Disk, DiskConfig
+from repro.fs.raid import Raid0
+from repro.fs.pagecache import PageCache
+from repro.fs.blockfs import BlockFs
+
+__all__ = [
+    "DirEntry",
+    "FileKind",
+    "BlockFs",
+    "Disk",
+    "DiskConfig",
+    "FileSystem",
+    "FsAttributes",
+    "FsError",
+    "FsStat",
+    "PageCache",
+    "Raid0",
+    "TmpFs",
+]

@@ -1,0 +1,144 @@
+"""The file-system interface the NFS server programs against.
+
+All operations are simulation processes (generators) because disk-backed
+implementations take time; results use NFS-ish vocabulary (file ids are
+inode numbers, attributes mirror fattr3) so the NFS layer is a thin
+codec over this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+__all__ = ["DirEntry", "FileKind", "FileSystem", "FsAttributes", "FsError", "FsStat"]
+
+
+class FsError(Exception):
+    """Carries an NFS-style status code."""
+
+    def __init__(self, status: str, detail: str = ""):
+        super().__init__(f"{status}: {detail}" if detail else status)
+        self.status = status
+
+
+class FileKind(enum.Enum):
+    REGULAR = "reg"
+    DIRECTORY = "dir"
+    SYMLINK = "lnk"
+    SPECIAL = "spc"          # FIFOs/devices (NFS MKNOD targets)
+
+
+@dataclass
+class FsAttributes:
+    """The subset of fattr3 the evaluation touches."""
+
+    fileid: int
+    kind: FileKind
+    size: int = 0
+    mode: int = 0o644
+    nlink: int = 1
+    uid: int = 0
+    gid: int = 0
+    atime: float = 0.0
+    mtime: float = 0.0
+    ctime: float = 0.0
+
+
+@dataclass
+class FsStat:
+    """FSSTAT-style totals."""
+
+    total_bytes: int
+    free_bytes: int
+    total_files: int
+    free_files: int
+
+
+@dataclass
+class DirEntry:
+    name: str
+    fileid: int
+    kind: FileKind
+
+
+class FileSystem(abc.ABC):
+    """Generator-based VFS; every method is a simulation process.
+
+    File identity is the integer ``fileid`` (inode number); the NFS
+    layer wraps these in opaque file handles.  ``root_id`` names the
+    root directory.
+    """
+
+    root_id: int = 1
+
+    @abc.abstractmethod
+    def getattr(self, fileid: int) -> Generator:
+        """→ FsAttributes"""
+
+    @abc.abstractmethod
+    def setattr(self, fileid: int, size: Optional[int] = None,
+                mode: Optional[int] = None) -> Generator:
+        """→ FsAttributes (truncate/chmod subset)"""
+
+    @abc.abstractmethod
+    def lookup(self, dir_id: int, name: str) -> Generator:
+        """→ fileid"""
+
+    @abc.abstractmethod
+    def create(self, dir_id: int, name: str, mode: int = 0o644) -> Generator:
+        """→ fileid of the new regular file (EXIST if taken)"""
+
+    @abc.abstractmethod
+    def mkdir(self, dir_id: int, name: str, mode: int = 0o755) -> Generator:
+        """→ fileid of the new directory"""
+
+    @abc.abstractmethod
+    def symlink(self, dir_id: int, name: str, target: str) -> Generator:
+        """→ fileid of the new symlink"""
+
+    @abc.abstractmethod
+    def link(self, dir_id: int, name: str, fileid: int) -> Generator:
+        """Hard-link ``fileid`` under a new name (nlink bookkeeping)."""
+
+    @abc.abstractmethod
+    def mknod(self, dir_id: int, name: str, mode: int = 0o644) -> Generator:
+        """→ fileid of a new special node (FIFO/device stand-in)."""
+
+    @abc.abstractmethod
+    def readlink(self, fileid: int) -> Generator:
+        """→ target path string"""
+
+    @abc.abstractmethod
+    def read(self, fileid: int, offset: int, length: int) -> Generator:
+        """→ (bytes, eof)"""
+
+    @abc.abstractmethod
+    def write(self, fileid: int, offset: int, data: bytes) -> Generator:
+        """→ bytes written"""
+
+    @abc.abstractmethod
+    def commit(self, fileid: int) -> Generator:
+        """Flush unstable writes to stable storage."""
+
+    @abc.abstractmethod
+    def remove(self, dir_id: int, name: str) -> Generator:
+        """Unlink a file/symlink."""
+
+    @abc.abstractmethod
+    def rmdir(self, dir_id: int, name: str) -> Generator:
+        """Remove an empty directory."""
+
+    @abc.abstractmethod
+    def rename(self, from_dir: int, from_name: str, to_dir: int, to_name: str) -> Generator:
+        """Atomic rename."""
+
+    @abc.abstractmethod
+    def readdir(self, dir_id: int) -> Generator:
+        """→ list[DirEntry]"""
+
+    @abc.abstractmethod
+    def fsstat(self) -> Generator:
+        """→ FsStat"""

@@ -1,0 +1,212 @@
+"""Extent-based file system over RAID with a page cache (the paper's
+"eight HighPoint SCSI disks with RAID-0 stripping, formatted with the
+XFS file system", §5.3).
+
+Files get contiguous extents on the striped volume; reads and writes go
+through the LRU page cache.  Writes are *unstable* (NFSv3 semantics):
+they dirty cache pages and return; a background flusher and the COMMIT
+procedure push them to the spindles.  Under memory pressure, dirty
+evictions force synchronous write-back, throttling writers to aggregate
+spindle bandwidth — and sequential re-reads that overflow the cache
+collapse to spindle bandwidth too, which is the mechanism behind the
+Fig 10a decline beyond three clients.
+
+Page *contents* are stored once, interned (identical pages share one
+object), so gigabyte-scale working sets stay cheap in host memory while
+every byte served remains verifiable.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.fs.api import FileKind, FsError, FsStat
+from repro.fs.namespace import NamespaceFs, _Inode
+from repro.fs.pagecache import PageCache, PageKey
+from repro.fs.raid import Raid0
+from repro.osmodel import CPU
+from repro.sim import Simulator
+
+__all__ = ["BlockFs"]
+
+
+class BlockFs(NamespaceFs):
+    """XFS-like extent FS on a striped volume, fronted by a page cache."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: CPU,
+        raid: Raid0,
+        cache_bytes: int,
+        page_bytes: int = 64 * 1024,
+        extent_bytes: int = 64 << 20,
+        flush_interval_us: float = 200_000.0,
+        flush_batch_pages: int = 64,
+        per_op_cpu_us: float = 2.5,
+        name: str = "blockfs",
+    ):
+        super().__init__(sim, cpu, capacity_bytes=1 << 40,
+                         per_op_cpu_us=per_op_cpu_us, name=name)
+        if extent_bytes % page_bytes:
+            raise ValueError("extent size must be a page multiple")
+        self.raid = raid
+        self.cache = PageCache(cache_bytes, page_bytes, name=f"{name}.cache")
+        self.page_bytes = page_bytes
+        self.extent_bytes = extent_bytes
+        self._zero_page = bytes(page_bytes)
+        self._content: dict[PageKey, bytes] = {}
+        self._intern_pool: dict[bytes, bytes] = {}
+        self._extents: dict[int, list[int]] = {}
+        self._next_free = 0
+        self.flush_interval_us = flush_interval_us
+        self.flush_batch_pages = flush_batch_pages
+        if flush_interval_us > 0:
+            sim.process(self._flusher(), name=f"{name}.flusher")
+
+    # -- layout -----------------------------------------------------------
+    def _disk_offset(self, key: PageKey) -> int:
+        fileid, page = key
+        pages_per_extent = self.extent_bytes // self.page_bytes
+        extent_index = page // pages_per_extent
+        extents = self._extents.setdefault(fileid, [])
+        while len(extents) <= extent_index:
+            extents.append(self._next_free)
+            self._next_free += self.extent_bytes
+        return extents[extent_index] + (page % pages_per_extent) * self.page_bytes
+
+    # -- content ----------------------------------------------------------
+    def _page(self, key: PageKey) -> bytes:
+        return self._content.get(key, self._zero_page)
+
+    def _store_page(self, key: PageKey, data: bytes) -> None:
+        if data == self._zero_page:
+            self._content.pop(key, None)
+            return
+        pooled = self._intern_pool.setdefault(data, data)
+        self._content[key] = pooled
+
+    # -- cache/disk interaction ------------------------------------------
+    def _absorb_evictions(self, evicted) -> Generator:
+        """Write back dirty evictees synchronously (memory pressure)."""
+        for key, was_dirty in evicted:
+            if was_dirty:
+                yield from self.raid.write(self._disk_offset(key), self.page_bytes)
+
+    def _flusher(self) -> Generator:
+        """Background write-back, pdflush style."""
+        while True:
+            yield self.sim.timeout(self.flush_interval_us)
+            dirty = self.cache.dirty_pages()[: self.flush_batch_pages]
+            for key in dirty:
+                yield from self.raid.write(self._disk_offset(key), self.page_bytes)
+                self.cache.mark_clean(key)
+
+    # -- data operations ------------------------------------------------------
+    def read(self, fileid: int, offset: int, length: int) -> Generator:
+        inode = self._get(fileid)
+        if inode.attrs.kind is not FileKind.REGULAR:
+            raise FsError("INVAL", "read of non-file")
+        yield from self._tick()
+        length = max(0, min(length, inode.attrs.size - offset))
+        first = offset // self.page_bytes
+        last = (offset + length - 1) // self.page_bytes if length else first - 1
+        # Classify pages, then fetch misses in contiguous disk runs.
+        miss_run: list[PageKey] = []
+        for page in range(first, last + 1):
+            key = (fileid, page)
+            if self.cache.touch(key):
+                if miss_run:
+                    yield from self._fetch_run(miss_run)
+                    miss_run = []
+            else:
+                miss_run.append(key)
+        if miss_run:
+            yield from self._fetch_run(miss_run)
+        parts = []
+        for page in range(first, last + 1):
+            parts.append(self._page((fileid, page)))
+        blob = b"".join(parts) if parts else b""
+        start = offset - first * self.page_bytes
+        data = blob[start : start + length]
+        yield from self.cpu.copy(len(data))
+        inode.attrs.atime = self.sim.now
+        return data, offset + length >= inode.attrs.size
+
+    def _fetch_run(self, keys: list[PageKey]) -> Generator:
+        """One striped read covering a contiguous run of missed pages."""
+        base = self._disk_offset(keys[0])
+        yield from self.raid.read(base, len(keys) * self.page_bytes)
+        for key in keys:
+            evicted = self.cache.insert(key, dirty=False)
+            yield from self._absorb_evictions(evicted)
+
+    def write(self, fileid: int, offset: int, data: bytes) -> Generator:
+        inode = self._get(fileid)
+        if inode.attrs.kind is not FileKind.REGULAR:
+            raise FsError("INVAL", "write of non-file")
+        yield from self._tick()
+        yield from self.cpu.copy(len(data))
+        end = offset + len(data)
+        pos = offset
+        remaining = data
+        while remaining:
+            page = pos // self.page_bytes
+            within = pos % self.page_bytes
+            take = min(self.page_bytes - within, len(remaining))
+            key = (fileid, page)
+            if take == self.page_bytes:
+                new_page = bytes(remaining[:take])
+            else:
+                # Read-modify-write a partial page (fetch if not resident
+                # and previously written).
+                if not self.cache.touch(key) and key in self._content:
+                    yield from self.raid.read(self._disk_offset(key), self.page_bytes)
+                old = bytearray(self._page(key))
+                old[within : within + take] = remaining[:take]
+                new_page = bytes(old)
+            self._store_page(key, new_page)
+            evicted = self.cache.insert(key, dirty=True)
+            yield from self._absorb_evictions(evicted)
+            pos += take
+            remaining = remaining[take:]
+        if end > inode.attrs.size:
+            self.used_bytes += end - inode.attrs.size
+            inode.attrs.size = end
+        inode.attrs.mtime = self.sim.now
+        return len(data)
+
+    def commit(self, fileid: int) -> Generator:
+        yield from self._tick()
+        for key in self.cache.dirty_pages(fileid):
+            yield from self.raid.write(self._disk_offset(key), self.page_bytes)
+            self.cache.mark_clean(key)
+
+    def fsstat(self) -> Generator:
+        yield from self._tick()
+        total = 1 << 40
+        return FsStat(
+            total_bytes=total,
+            free_bytes=total - self.used_bytes,
+            total_files=1 << 20,
+            free_files=(1 << 20) - len(self._inodes),
+        )
+
+    # -- namespace data hooks ---------------------------------------------
+    def _drop_data(self, inode: _Inode) -> None:
+        fileid = inode.attrs.fileid
+        self.cache.invalidate(fileid)
+        doomed = [k for k in self._content if k[0] == fileid]
+        for k in doomed:
+            del self._content[k]
+        self._extents.pop(fileid, None)
+        self.used_bytes -= inode.attrs.size
+
+    def _resize_data(self, inode: _Inode, size: int) -> None:
+        fileid = inode.attrs.fileid
+        if size < inode.attrs.size:
+            first_dead = (size + self.page_bytes - 1) // self.page_bytes
+            doomed = [k for k in self._content if k[0] == fileid and k[1] >= first_dead]
+            for k in doomed:
+                del self._content[k]
+        self.used_bytes += size - inode.attrs.size

@@ -1,0 +1,108 @@
+"""LRU page cache: the 4 GB / 8 GB server memory of Fig 10.
+
+Tracks *residency and dirtiness* of (file, page) keys under a byte
+budget; page contents live with the owning file system (one copy in the
+whole simulation).  The capacity is the experiment's headline variable:
+with 4 GB, three 1 GB client files fit and aggregate read bandwidth
+peaks, a fourth starts LRU-thrashing a sequential scan (the worst case
+for LRU) and throughput falls toward spindle speed; with 8 GB the knee
+moves out past seven clients.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.sim import Counter
+
+__all__ = ["PageCache", "PageKey"]
+
+#: (fileid, page_index)
+PageKey = tuple[int, int]
+
+
+class PageCache:
+    """Byte-budgeted LRU over fixed-size pages with dirty tracking."""
+
+    def __init__(self, capacity_bytes: int, page_bytes: int = 64 * 1024,
+                 name: str = "pagecache"):
+        if page_bytes < 4096:
+            raise ValueError("page size below 4 KB")
+        if capacity_bytes < page_bytes:
+            raise ValueError("cache smaller than one page")
+        self.capacity_bytes = capacity_bytes
+        self.page_bytes = page_bytes
+        self.name = name
+        self._lru: OrderedDict[PageKey, bool] = OrderedDict()  # key -> dirty
+        self.hits = Counter(f"{name}.hits")
+        self.misses = Counter(f"{name}.misses")
+        self.evictions = Counter(f"{name}.evictions")
+        self.writebacks = Counter(f"{name}.writebacks")
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def resident_pages(self) -> int:
+        return len(self._lru)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._lru) * self.page_bytes
+
+    @property
+    def max_pages(self) -> int:
+        return self.capacity_bytes // self.page_bytes
+
+    def is_resident(self, key: PageKey) -> bool:
+        return key in self._lru
+
+    def dirty_pages(self, fileid: Optional[int] = None) -> list[PageKey]:
+        return [
+            k for k, dirty in self._lru.items()
+            if dirty and (fileid is None or k[0] == fileid)
+        ]
+
+    # -- access -----------------------------------------------------------
+    def touch(self, key: PageKey) -> bool:
+        """Record an access; True on hit (and promote to MRU)."""
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.hits.add()
+            return True
+        self.misses.add()
+        return False
+
+    def insert(self, key: PageKey, dirty: bool = False) -> list[tuple[PageKey, bool]]:
+        """Make ``key`` resident; returns evicted (key, was_dirty) pairs.
+
+        The caller owns the consequences of dirty evictions (write-back
+        timing against the backing device).
+        """
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self._lru[key] = self._lru[key] or dirty
+            return []
+        evicted: list[tuple[PageKey, bool]] = []
+        while len(self._lru) >= self.max_pages:
+            old_key, was_dirty = self._lru.popitem(last=False)
+            self.evictions.add()
+            if was_dirty:
+                self.writebacks.add()
+            evicted.append((old_key, was_dirty))
+        self._lru[key] = dirty
+        return evicted
+
+    def mark_clean(self, key: PageKey) -> None:
+        if key in self._lru:
+            self._lru[key] = False
+
+    def invalidate(self, fileid: int) -> int:
+        """Drop every page of one file (unlink); returns pages dropped."""
+        doomed = [k for k in self._lru if k[0] == fileid]
+        for k in doomed:
+            del self._lru[k]
+        return len(doomed)
+
+    def hit_ratio(self) -> float:
+        total = self.hits.events + self.misses.events
+        return self.hits.events / total if total else 0.0

@@ -1,0 +1,69 @@
+"""tmpfs: the memory file system behind the Solaris experiments (§5.1).
+
+Service time is memcpy plus a small per-operation CPU charge; there is
+no stable storage, so COMMIT is free — exactly the conditions under
+which the transport and registration machinery become the bottleneck,
+which is why the paper benchmarks on tmpfs when isolating them.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.fs.api import FileKind, FsError, FsStat
+from repro.fs.namespace import NamespaceFs
+from repro.osmodel import CPU
+from repro.sim import Simulator
+
+__all__ = ["TmpFs"]
+
+
+class TmpFs(NamespaceFs):
+    """In-memory POSIX-ish file system with real byte storage."""
+
+    def __init__(self, sim: Simulator, cpu: CPU, capacity_bytes: int = 1 << 34,
+                 per_op_cpu_us: float = 1.5, name: str = "tmpfs"):
+        super().__init__(sim, cpu, capacity_bytes, per_op_cpu_us, name)
+
+    def read(self, fileid: int, offset: int, length: int) -> Generator:
+        inode = self._get(fileid)
+        if inode.attrs.kind is not FileKind.REGULAR:
+            raise FsError("INVAL", "read of non-file")
+        yield from self._tick()
+        data = bytes(inode.data[offset : offset + length])
+        # One pass over the data: page-cache -> transport buffer.
+        yield from self.cpu.copy(len(data))
+        inode.attrs.atime = self.sim.now
+        eof = offset + length >= len(inode.data)
+        return data, eof
+
+    def write(self, fileid: int, offset: int, data: bytes) -> Generator:
+        inode = self._get(fileid)
+        if inode.attrs.kind is not FileKind.REGULAR:
+            raise FsError("INVAL", "write of non-file")
+        yield from self._tick()
+        end = offset + len(data)
+        grow = max(0, end - len(inode.data))
+        if self.used_bytes + grow > self.capacity_bytes:
+            raise FsError("NOSPC", "tmpfs full")
+        if grow:
+            inode.data.extend(b"\x00" * grow)
+            self.used_bytes += grow
+        yield from self.cpu.copy(len(data))
+        inode.data[offset:end] = data
+        inode.attrs.size = len(inode.data)
+        inode.attrs.mtime = self.sim.now
+        return len(data)
+
+    def commit(self, fileid: int) -> Generator:
+        # Memory file system: nothing to stabilise.
+        yield from self._tick()
+
+    def fsstat(self) -> Generator:
+        yield from self._tick()
+        return FsStat(
+            total_bytes=self.capacity_bytes,
+            free_bytes=self.capacity_bytes - self.used_bytes,
+            total_files=1 << 20,
+            free_files=(1 << 20) - len(self._inodes),
+        )

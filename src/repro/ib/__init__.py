@@ -1,0 +1,77 @@
+"""Simulated InfiniBand substrate: verbs, HCA, memory registration, wire.
+
+This package stands in for the Mellanox SDR/DDR HCAs and fabric of the
+paper's testbeds (see DESIGN.md §1 for the substitution argument).  It
+is *byte-real*: RDMA operations move actual bytes between node memory
+arenas, steering tags are real 32-bit capabilities checked against a
+Translation Protection Table, and the InfiniBand rules the paper's
+design exploits are enforced:
+
+* Reliable Connection QPs with in-order request execution;
+* RDMA Write → Send completion ordering **guaranteed**;
+* RDMA Read → Send ordering **not** guaranteed (requester must fence);
+* IRD/ORD caps (8 on 2007 Mellanox HCAs) on outstanding RDMA Reads;
+* a single serialized TPT engine per HCA (registration is expensive and
+  serialises, which is why the paper's registration strategies matter);
+* a per-QP read-response engine at the responder (RDMA Read throughput
+  on one connection is far below RDMA Write throughput — §4.1).
+"""
+
+from repro.ib.memory import (
+    AccessFlags,
+    MemoryArena,
+    MemoryBuffer,
+    MemoryRegion,
+    ProtectionError,
+    RegistrationCosts,
+    TranslationProtectionTable,
+)
+from repro.ib.fmr import FMRPool, FMRRegion
+from repro.ib.phys import GLOBAL_STAG, PhysicalAccessMap
+from repro.ib.link import DuplexLink, LinkConfig
+from repro.ib.verbs import (
+    CompletionQueue,
+    Cqe,
+    CqeStatus,
+    Opcode,
+    QueuePair,
+    QPError,
+    RecvWR,
+    RdmaReadWR,
+    RdmaWriteWR,
+    Segment,
+    SendWR,
+)
+from repro.ib.hca import HCA, HCAConfig
+from repro.ib.fabric import Fabric, IBNode
+
+__all__ = [
+    "AccessFlags",
+    "CompletionQueue",
+    "Cqe",
+    "CqeStatus",
+    "DuplexLink",
+    "FMRPool",
+    "FMRRegion",
+    "Fabric",
+    "GLOBAL_STAG",
+    "HCA",
+    "HCAConfig",
+    "IBNode",
+    "LinkConfig",
+    "MemoryArena",
+    "MemoryBuffer",
+    "MemoryRegion",
+    "Opcode",
+    "PhysicalAccessMap",
+    "ProtectionError",
+    "QPError",
+    "QueuePair",
+    "RdmaReadWR",
+    "RdmaWriteWR",
+    "RecvWR",
+    "RegistrationCosts",
+    "Segment",
+    "SendWR",
+    "TranslationProtectionTable",
+]

@@ -1,0 +1,103 @@
+"""Node bundling and connection management.
+
+An :class:`IBNode` is a host: CPU complex, interrupt controller, memory
+arena and one HCA with one port.  A :class:`Fabric` wires node pairs
+into Reliable Connections (queue-pair pairs), the peer-to-peer model of
+InfiniBand RC described in §2 of the paper.  The fabric itself is
+full-bisection: contention only ever occurs at node ports, matching the
+single-switch testbeds of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import DeterministicRNG, Simulator
+from repro.osmodel import CPU, CPUConfig, InterruptController
+from repro.ib.hca import HCA, HCAConfig
+from repro.ib.link import LinkConfig
+from repro.ib.memory import MemoryArena
+from repro.ib.verbs import CompletionQueue, QueuePair
+
+__all__ = ["Fabric", "IBNode"]
+
+
+class IBNode:
+    """A host with CPUs, memory, an interrupt controller and one HCA."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rng: DeterministicRNG,
+        cpu_config: Optional[CPUConfig] = None,
+        hca_config: Optional[HCAConfig] = None,
+        link_config: Optional[LinkConfig] = None,
+        interrupt_cost_us: float = 4.0,
+        allow_physical: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.rng = rng.child(name)
+        self.cpu = CPU(sim, cpu_config or CPUConfig(), name=f"{name}.cpu")
+        self.irq = InterruptController(
+            sim, self.cpu, cost_us=interrupt_cost_us, name=f"{name}.irq"
+        )
+        self.arena = MemoryArena(name=f"{name}.mem")
+        self.hca = HCA(
+            sim,
+            self.cpu,
+            self.irq,
+            self.arena,
+            hca_config or HCAConfig(),
+            link_config or LinkConfig(),
+            self.rng,
+            name=f"{name}.hca",
+            allow_physical=allow_physical,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IBNode {self.name}>"
+
+
+class Fabric:
+    """Creates nodes and Reliable Connections between them."""
+
+    def __init__(self, sim: Simulator, seed: int = 2007):
+        self.sim = sim
+        self.rng = DeterministicRNG(seed, "fabric")
+        self.nodes: dict[str, IBNode] = {}
+
+    def add_node(self, name: str, **kwargs) -> IBNode:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = IBNode(self.sim, name, self.rng, **kwargs)
+        self.nodes[name] = node
+        return node
+
+    def connect(
+        self,
+        a: IBNode,
+        b: IBNode,
+        a_cqs: Optional[tuple[CompletionQueue, CompletionQueue]] = None,
+        b_cqs: Optional[tuple[CompletionQueue, CompletionQueue]] = None,
+    ) -> tuple[QueuePair, QueuePair]:
+        """Establish an RC between ``a`` and ``b``; returns (qp_a, qp_b).
+
+        Fresh CQs are created per connection unless supplied (the NFS
+        server shares CQs across client connections, as a kernel RPC
+        transport would).
+        """
+        if a is b:
+            raise ValueError("cannot connect a node to itself")
+        if a_cqs is None:
+            a_cqs = (a.hca.create_cq("scq"), a.hca.create_cq("rcq"))
+        if b_cqs is None:
+            b_cqs = (b.hca.create_cq("scq"), b.hca.create_cq("rcq"))
+        qp_a = a.hca.create_qp(*a_cqs)
+        qp_b = b.hca.create_qp(*b_cqs)
+        qp_a.peer = qp_b
+        qp_b.peer = qp_a
+        a.hca.activate(qp_a)
+        b.hca.activate(qp_b)
+        return qp_a, qp_b

@@ -1,0 +1,381 @@
+"""The HCA processing engine: executes work requests per IB RC rules.
+
+One dispatcher process per QP drains the send queue **in order** —
+requests begin execution in post order, as RC requires.  The rules the
+paper's designs exploit all live here:
+
+* A Send or RDMA Write holds the dispatcher until its payload is on the
+  wire, and its ack (hence CQE) follows data in FIFO order — so
+  **Write → Send completion ordering is guaranteed** (§4.2: the reply
+  send's completion proves the preceding writes landed).
+* An RDMA Read only holds the dispatcher while acquiring one of the
+  ORD slots and transmitting the tiny request packet; the response
+  streams back asynchronously — so **a later Send can complete before
+  an earlier Read** (§4.1: the server must block, i.e. fence, before
+  replying on the NFS WRITE path).  ``fence=True`` on a WR restores
+  ordering by draining outstanding reads first.
+* The responder serves read responses through a single per-QP read
+  engine with a fixed per-read turnaround, so RDMA Read throughput on
+  one connection sits well below RDMA Write throughput, and at most
+  IRD/ORD (= 8) reads are ever outstanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.sim import Counter, Resource, Simulator
+from repro.ib.link import DuplexLink, LinkConfig
+from repro.ib.memory import (
+    AccessFlags,
+    MemoryArena,
+    ProtectionError,
+    RegistrationCosts,
+    TranslationProtectionTable,
+)
+from repro.ib.phys import GLOBAL_STAG, PhysicalAccessMap
+from repro.ib.verbs import (
+    CompletionQueue,
+    CqeStatus,
+    Opcode,
+    QPState,
+    QueuePair,
+    RdmaReadWR,
+    RdmaWriteWR,
+    RecvWR,
+    Segment,
+    SendWR,
+)
+
+__all__ = ["HCA", "HCAConfig"]
+
+_READ_REQUEST_BYTES = 28  # RETH + AETH-ish request packet
+
+
+@dataclass(frozen=True)
+class HCAConfig:
+    """Per-HCA cost/limit parameters (calibrated in repro.analysis)."""
+
+    wqe_process_us: float = 0.6
+    post_cpu_us: float = 0.4
+    read_response_setup_us: float = 95.0
+    rnr_retry_us: float = 60.0
+    rnr_retry_limit: int = 6
+    max_ird: int = 8
+    max_ord: int = 8
+    #: mean physically-contiguous run for the all-physical mode's
+    #: scatter/gather-free fragmentation (DESIGN.md, Fig 9b mechanism).
+    phys_mean_run_bytes: int = 64 * 1024
+    registration: RegistrationCosts = field(default_factory=RegistrationCosts)
+
+
+class HCA:
+    """One host channel adapter: TPT, port, per-QP dispatchers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu,  # repro.osmodel.CPU
+        irq,  # repro.osmodel.InterruptController
+        arena: MemoryArena,
+        config: HCAConfig,
+        link_config: LinkConfig,
+        rng,
+        name: str = "hca",
+        allow_physical: bool = False,
+    ):
+        self.sim = sim
+        self.cpu = cpu
+        self.irq = irq
+        self.arena = arena
+        self.config = config
+        self.name = name
+        self.port = DuplexLink(sim, link_config, name=f"{name}.port")
+        self.tpt = TranslationProtectionTable(
+            sim, cpu, config.registration, rng.child("tpt"), name=f"{name}.tpt"
+        )
+        self.phys = PhysicalAccessMap(
+            arena, rng.child("phys"), enabled=allow_physical,
+            mean_contig_run_bytes=config.phys_mean_run_bytes, name=f"{name}.phys",
+        )
+        self.qps: list[QueuePair] = []
+        self.sends = Counter(f"{name}.sends")
+        self.writes = Counter(f"{name}.writes")
+        self.reads = Counter(f"{name}.reads")
+        self.rnr_events = Counter(f"{name}.rnr")
+        # Per-QP structures keyed by qp_num, created on connect.
+        self._ord_slots: dict[int, Resource] = {}
+        self._read_engines: dict[int, Resource] = {}
+        self._delivery_locks: dict[int, Resource] = {}
+        self._outstanding_reads: dict[int, set] = {}
+        self._inbound_reads_active: dict[int, int] = {}
+        self.max_inbound_reads_seen: int = 0
+
+    # -- setup -------------------------------------------------------------
+    def create_cq(self, name: str = "cq", interrupts: bool = True) -> CompletionQueue:
+        """A CQ; if ``interrupts``, each CQE raises an interrupt on this node."""
+        cq = CompletionQueue(self.sim, name=f"{self.name}.{name}")
+        if interrupts:
+            def _on_completion(cqe) -> None:
+                self.sim.process(self.irq.raise_irq(), name=f"{self.name}.irq")
+            cq.on_completion = _on_completion
+        return cq
+
+    def create_qp(self, send_cq: CompletionQueue, recv_cq: CompletionQueue) -> QueuePair:
+        qp = QueuePair(
+            self.sim, self, send_cq, recv_cq,
+            ird=self.config.max_ird, ord=self.config.max_ord,
+        )
+        self.qps.append(qp)
+        return qp
+
+    def activate(self, qp: QueuePair) -> None:
+        """Called by the fabric once both ends are wired; starts dispatch."""
+        if qp.peer is None:
+            raise ValueError("activate before peer wired")
+        effective_ord = min(qp.ord, qp.peer.ird)
+        self._ord_slots[qp.qp_num] = Resource(
+            self.sim, capacity=effective_ord, name=f"qp{qp.qp_num}.ord"
+        )
+        self._read_engines[qp.qp_num] = Resource(
+            self.sim, capacity=1, name=f"qp{qp.qp_num}.rdeng"
+        )
+        self._delivery_locks[qp.qp_num] = Resource(
+            self.sim, capacity=1, name=f"qp{qp.qp_num}.deliver"
+        )
+        self._outstanding_reads[qp.qp_num] = set()
+        self._inbound_reads_active[qp.qp_num] = 0
+        qp.state = QPState.RTS
+        self.sim.process(self._dispatcher(qp), name=f"{self.name}.qp{qp.qp_num}")
+
+    # -- consumer helpers ----------------------------------------------------
+    def post_send(self, qp: QueuePair, wr) -> Generator:
+        """Process: charge the doorbell/post CPU cost, then post."""
+        yield from self.cpu.consume(self.config.post_cpu_us)
+        qp.post_send(wr)
+        return wr
+
+    def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator:
+        yield from self.cpu.consume(self.config.post_cpu_us)
+        qp.post_recv(wr)
+        return wr
+
+    # -- local address resolution ---------------------------------------------
+    def _gather(self, segments: list[Segment]) -> bytes:
+        """Read local scatter/gather elements (lkey path)."""
+        parts = []
+        for seg in segments:
+            if seg.stag == GLOBAL_STAG:
+                buf, off = self.arena.resolve(seg.addr, seg.length)
+                parts.append(bytes(buf.data[off : off + seg.length]))
+            else:
+                mr = self.tpt.lookup(seg.stag, seg.addr, seg.length, AccessFlags(0))
+                parts.append(mr.read(seg.addr, seg.length))
+        return b"".join(parts)
+
+    def _scatter(self, segments: list[Segment], payload: bytes) -> int:
+        """Write ``payload`` across local scatter elements; returns bytes placed."""
+        pos = 0
+        for seg in segments:
+            if pos >= len(payload):
+                break
+            take = min(seg.length, len(payload) - pos)
+            if seg.stag == GLOBAL_STAG:
+                buf, off = self.arena.resolve(seg.addr, take)
+                buf.data[off : off + take] = payload[pos : pos + take]
+            else:
+                mr = self.tpt.lookup(seg.stag, seg.addr, take, AccessFlags.LOCAL_WRITE)
+                mr.write(seg.addr, payload[pos : pos + take])
+            pos += take
+        if pos < len(payload):
+            raise ProtectionError(
+                f"scatter list too small: {len(payload)} bytes into "
+                f"{sum(s.length for s in segments)}"
+            )
+        return pos
+
+    # -- dispatcher -------------------------------------------------------------
+    def _dispatcher(self, qp: QueuePair) -> Generator:
+        while qp.state is QPState.RTS:
+            wr = yield qp.sq.get()
+            if qp.state is not QPState.RTS:
+                wr._complete(qp, qp.send_cq, CqeStatus.WR_FLUSH_ERR, error=qp.error_cause)
+                return
+            if getattr(wr, "fence", False):
+                yield from self._drain_reads(qp)
+            yield self.sim.timeout(self.config.wqe_process_us)
+            if wr.opcode is Opcode.SEND:
+                yield from self._execute_send(qp, wr)
+            elif wr.opcode is Opcode.RDMA_WRITE:
+                yield from self._execute_write(qp, wr)
+            elif wr.opcode is Opcode.RDMA_READ:
+                yield from self._execute_read(qp, wr)
+            else:  # pragma: no cover - defensive
+                wr._complete(qp, qp.send_cq, CqeStatus.LOC_PROT_ERR, error="bad opcode")
+
+    def _drain_reads(self, qp: QueuePair) -> Generator:
+        pending = list(self._outstanding_reads[qp.qp_num])
+        for ev in pending:
+            if not ev.processed:
+                yield ev
+
+    # -- SEND ---------------------------------------------------------------
+    def _execute_send(self, qp: QueuePair, wr: SendWR) -> Generator:
+        peer_hca: HCA = qp.peer.hca
+        try:
+            payload = wr.inline if wr.inline is not None else self._gather(wr.segments)
+        except ProtectionError as exc:
+            wr._complete(qp, qp.send_cq, CqeStatus.LOC_PROT_ERR, error=str(exc))
+            self._fatal(qp, f"local protection error on send: {exc}")
+            return
+        # Serialize onto the wire, then move on: propagation and remote
+        # delivery overlap the next WQE (per-QP delivery lock keeps RC
+        # in-order delivery).
+        yield from self.port.transfer(peer_hca.port, len(payload))
+        self.sim.process(self._deliver_send(qp, wr, payload),
+                         name=f"{self.name}.dlv")
+
+    def _deliver_send(self, qp: QueuePair, wr: SendWR, payload: bytes) -> Generator:
+        peer_qp = qp.peer
+        peer_hca: HCA = peer_qp.hca
+        yield self.sim.timeout(self.port.propagation_us(peer_hca.port))
+        lock = self._delivery_locks[qp.qp_num].request()
+        yield lock
+        try:
+            # Match a pre-posted receive; RNR-retry if the peer is slow.
+            recv = peer_qp.take_recv()
+            retries = 0
+            while recv is None:
+                self.rnr_events.add()
+                if retries >= self.config.rnr_retry_limit:
+                    wr._complete(qp, qp.send_cq, CqeStatus.RNR_RETRY_EXC,
+                                 error="receiver never posted a buffer")
+                    self._fatal(qp, "RNR retry exceeded")
+                    self._fatal(peer_qp, "RNR retry exceeded (remote)")
+                    return
+                retries += 1
+                yield self.sim.timeout(self.config.rnr_retry_us)
+                recv = peer_qp.take_recv()
+            try:
+                peer_hca._scatter(recv.segments, payload)
+            except ProtectionError as exc:
+                recv._complete(peer_qp, peer_qp.recv_cq, CqeStatus.LOC_PROT_ERR, error=str(exc))
+                wr._complete(qp, qp.send_cq, CqeStatus.REM_ACCESS_ERR, error=str(exc))
+                self._fatal(qp, f"send overflowed receive buffer: {exc}")
+                self._fatal(peer_qp, "receive buffer overflow")
+                return
+            recv.received = payload
+            recv._complete(peer_qp, peer_qp.recv_cq, CqeStatus.SUCCESS, byte_len=len(payload))
+            self.sends.add(len(payload))
+        finally:
+            self._delivery_locks[qp.qp_num].release(lock)
+        yield self.sim.timeout(peer_hca.port.config.latency_us)  # ack
+        wr._complete(qp, qp.send_cq, CqeStatus.SUCCESS, byte_len=len(payload))
+
+    # -- RDMA WRITE -----------------------------------------------------------
+    def _execute_write(self, qp: QueuePair, wr: RdmaWriteWR) -> Generator:
+        peer_hca: HCA = qp.peer.hca
+        try:
+            payload = self._gather(wr.local)
+        except ProtectionError as exc:
+            wr._complete(qp, qp.send_cq, CqeStatus.LOC_PROT_ERR, error=str(exc))
+            self._fatal(qp, f"local protection error on write: {exc}")
+            return
+        yield from self.port.transfer(peer_hca.port, len(payload))
+        self.sim.process(self._deliver_write(qp, wr, payload),
+                         name=f"{self.name}.dlv")
+
+    def _deliver_write(self, qp: QueuePair, wr: RdmaWriteWR, payload: bytes) -> Generator:
+        peer_hca: HCA = qp.peer.hca
+        yield self.sim.timeout(self.port.propagation_us(peer_hca.port))
+        lock = self._delivery_locks[qp.qp_num].request()
+        yield lock
+        try:
+            try:
+                # Target-side validation: TPT or (if honoured) the global stag.
+                if wr.remote.stag == GLOBAL_STAG:
+                    buf, off = peer_hca.phys.resolve(wr.remote.addr, len(payload))
+                    buf.data[off : off + len(payload)] = payload
+                else:
+                    mr = peer_hca.tpt.lookup(
+                        wr.remote.stag, wr.remote.addr, len(payload),
+                        AccessFlags.REMOTE_WRITE,
+                    )
+                    mr.write(wr.remote.addr, payload)
+            except ProtectionError as exc:
+                wr._complete(qp, qp.send_cq, CqeStatus.REM_ACCESS_ERR, error=str(exc))
+                self._fatal(qp, f"remote access error on write: {exc}")
+                self._fatal(qp.peer, f"NAK sent for bad write: {exc}")
+                return
+            # No remote CQE, no remote CPU, no remote interrupt: one-sided.
+            self.writes.add(len(payload))
+        finally:
+            self._delivery_locks[qp.qp_num].release(lock)
+        yield self.sim.timeout(peer_hca.port.config.latency_us)  # ack
+        wr._complete(qp, qp.send_cq, CqeStatus.SUCCESS, byte_len=len(payload))
+
+    # -- RDMA READ ---------------------------------------------------------------
+    def _execute_read(self, qp: QueuePair, wr: RdmaReadWR) -> Generator:
+        # ORD: stall the SQ until a slot frees (this is the §4.1 cap).
+        slot = self._ord_slots[qp.qp_num].request()
+        yield slot
+        done = self.sim.event()
+        self._outstanding_reads[qp.qp_num].add(done)
+        # Tiny request packet to the responder; SQ then moves on.
+        yield from self.port.transfer(qp.peer.hca.port, _READ_REQUEST_BYTES)
+        self.sim.process(self._read_response(qp, wr, slot, done),
+                         name=f"{self.name}.rdresp")
+
+    def _read_response(self, qp: QueuePair, wr: RdmaReadWR, slot, done) -> Generator:
+        peer_qp = qp.peer
+        peer_hca: HCA = peer_qp.hca
+        try:
+            # Responder: serialized per-QP read engine (request scheduling,
+            # DMA setup) then the data streams back on the reverse path.
+            count = peer_hca._inbound_reads_active[peer_qp.qp_num] = (
+                peer_hca._inbound_reads_active[peer_qp.qp_num] + 1
+            )
+            peer_hca.max_inbound_reads_seen = max(peer_hca.max_inbound_reads_seen, count)
+            engine = peer_hca._read_engines[peer_qp.qp_num]
+            req = engine.request()
+            yield req
+            try:
+                try:
+                    if wr.remote.stag == GLOBAL_STAG:
+                        buf, off = peer_hca.phys.resolve(wr.remote.addr, wr.remote.length)
+                        payload = bytes(buf.data[off : off + wr.remote.length])
+                    else:
+                        mr = peer_hca.tpt.lookup(
+                            wr.remote.stag, wr.remote.addr, wr.remote.length,
+                            AccessFlags.REMOTE_READ,
+                        )
+                        payload = mr.read(wr.remote.addr, wr.remote.length)
+                except ProtectionError as exc:
+                    wr._complete(qp, qp.send_cq, CqeStatus.REM_ACCESS_ERR, error=str(exc))
+                    self._fatal(qp, f"remote access error on read: {exc}")
+                    self._fatal(peer_qp, f"NAK sent for bad read: {exc}")
+                    return
+                yield self.sim.timeout(peer_hca.config.read_response_setup_us)
+                yield from peer_hca.port.transfer(self.port, len(payload))
+                yield self.sim.timeout(peer_hca.port.propagation_us(self.port))
+            finally:
+                engine.release(req)
+                peer_hca._inbound_reads_active[peer_qp.qp_num] -= 1
+            try:
+                self._scatter(wr.local, payload)
+            except ProtectionError as exc:
+                wr._complete(qp, qp.send_cq, CqeStatus.LOC_PROT_ERR, error=str(exc))
+                self._fatal(qp, f"local scatter failed on read response: {exc}")
+                return
+            self.reads.add(len(payload))
+            wr._complete(qp, qp.send_cq, CqeStatus.SUCCESS, byte_len=len(payload))
+        finally:
+            self._ord_slots[qp.qp_num].release(slot)
+            self._outstanding_reads[qp.qp_num].discard(done)
+            if not done.triggered:
+                done.succeed()
+
+    # -- failure ---------------------------------------------------------------
+    def _fatal(self, qp: QueuePair, cause: str) -> None:
+        qp.enter_error(cause)

@@ -1,0 +1,126 @@
+"""Wire model: full-duplex ports with bandwidth, latency and chunking.
+
+A node owns one port with independent transmit (egress) and receive
+(ingress) sides.  A message transfer claims the sender's egress and the
+receiver's ingress *per chunk*, so concurrent flows interleave fairly at
+chunk granularity while a single node's aggregate in/out bandwidth is
+capped by its port — which is exactly what caps the NFS server at its
+link rate in the multi-client experiments (Fig 10).
+
+Bandwidth is expressed in MB/s, which conveniently equals bytes/µs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.sim import Counter, Resource, Simulator, UtilizationMeter
+
+__all__ = ["DuplexLink", "LinkConfig", "PortDirection"]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static wire parameters.
+
+    ``per_message_overhead_bytes`` folds headers/CRC/ack overhead into an
+    effective per-message cost; ``chunk_bytes`` sets the interleaving
+    granularity (an MTU-train, not a single MTU, to keep event counts
+    reasonable).
+    """
+
+    bandwidth_mb_s: float = 950.0
+    latency_us: float = 1.5
+    per_message_overhead_bytes: int = 64
+    chunk_bytes: int = 32 * 1024
+
+    def __post_init__(self):
+        if self.bandwidth_mb_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_us < 0:
+            raise ValueError("latency must be non-negative")
+        if self.chunk_bytes < 1024:
+            raise ValueError("chunk size unreasonably small")
+
+    def wire_time_us(self, nbytes: int) -> float:
+        """Serialisation time for ``nbytes`` plus per-message overhead."""
+        return (nbytes + self.per_message_overhead_bytes) / self.bandwidth_mb_s
+
+
+class PortDirection:
+    """One direction (egress or ingress) of a node's port."""
+
+    def __init__(self, sim: Simulator, config: LinkConfig, name: str):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.arbiter = Resource(sim, capacity=1, name=f"{name}.arbiter")
+        self.meter = UtilizationMeter(sim, capacity=1.0, name=name)
+        self.bytes_carried = Counter(f"{name}.bytes")
+
+    def hold(self, duration_us: float) -> Generator:
+        """Process: occupy this direction for ``duration_us``."""
+        req = self.arbiter.request()
+        yield req
+        self.meter.acquire()
+        try:
+            yield self.sim.timeout(duration_us)
+        finally:
+            self.meter.release()
+            self.arbiter.release(req)
+
+
+class DuplexLink:
+    """A node's network port (tx + rx) attached to a full-bisection fabric."""
+
+    def __init__(self, sim: Simulator, config: LinkConfig, name: str = "port"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.tx = PortDirection(sim, config, f"{name}.tx")
+        self.rx = PortDirection(sim, config, f"{name}.rx")
+
+    def propagation_us(self, dst: "DuplexLink") -> float:
+        """One-way propagation delay to ``dst`` (switch hop included)."""
+        return self.config.latency_us + dst.config.latency_us
+
+    def transfer(self, dst: "DuplexLink", nbytes: int) -> Generator:
+        """Process: serialize ``nbytes`` from this port toward ``dst``.
+
+        Completes when the last byte has left the wire — *not* when it
+        arrives; callers model propagation with :meth:`propagation_us`
+        so back-to-back messages pipeline the way real HCAs do.  Chunks
+        claim source egress and destination ingress together, so the
+        slower of the two ports paces the transfer and concurrent flows
+        share fairly.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        cfg = self.config
+        total = nbytes + cfg.per_message_overhead_bytes
+        bw = min(cfg.bandwidth_mb_s, dst.config.bandwidth_mb_s)
+        remaining = total
+        while remaining > 0:
+            chunk = min(remaining, cfg.chunk_bytes)
+            duration = chunk / bw
+            tx_req = self.tx.arbiter.request()
+            yield tx_req
+            rx_req = dst.rx.arbiter.request()
+            yield rx_req
+            self.tx.meter.acquire()
+            dst.rx.meter.acquire()
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self.tx.meter.release()
+                dst.rx.meter.release()
+                dst.rx.arbiter.release(rx_req)
+                self.tx.arbiter.release(tx_req)
+            remaining -= chunk
+        self.tx.bytes_carried.add(nbytes)
+        dst.rx.bytes_carried.add(nbytes)
+
+    def utilization(self) -> tuple[float, float]:
+        """(tx, rx) mean utilization since window reset."""
+        return self.tx.meter.utilization(), self.rx.meter.utilization()

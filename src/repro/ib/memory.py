@@ -1,0 +1,363 @@
+"""Node memory, memory regions and the Translation Protection Table.
+
+Registration is the paper's central overhead (§4.3): pinning pages and
+translating addresses costs CPU, and updating the HCA's TPT costs a
+serialized I/O-bus transaction whose latency depends on region size.
+Both costs are modeled here; the serialized TPT engine (one per HCA) is
+what makes dynamic per-operation registration a throughput ceiling and
+what the FMR / registration-cache / all-physical strategies attack.
+
+Steering tags are real 32-bit capabilities: every remote access is
+checked against the TPT, which is what gives the security evaluation
+teeth (a malicious client guessing stags faces a genuine 2^32 space
+minus what the transport exposed).
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.sim import Counter, DeterministicRNG, Resource, Simulator
+
+__all__ = [
+    "AccessFlags",
+    "MemoryArena",
+    "MemoryBuffer",
+    "MemoryRegion",
+    "ProtectionError",
+    "RegistrationCosts",
+    "TranslationProtectionTable",
+    "PAGE_SIZE",
+]
+
+PAGE_SIZE = 4096
+
+
+class ProtectionError(Exception):
+    """A remote (or local) access failed TPT validation."""
+
+    def __init__(self, reason: str, stag: int = 0):
+        super().__init__(reason)
+        self.reason = reason
+        self.stag = stag
+
+
+class AccessFlags(enum.IntFlag):
+    """MR access rights; remote flags are what 'exposes' a buffer."""
+
+    LOCAL_WRITE = 1
+    REMOTE_READ = 2
+    REMOTE_WRITE = 4
+
+    @property
+    def remote(self) -> bool:
+        return bool(self & (AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE))
+
+
+class MemoryBuffer:
+    """A contiguous allocation in a node's arena (virtually addressed)."""
+
+    __slots__ = ("arena", "addr", "data", "pinned_pages")
+
+    def __init__(self, arena: "MemoryArena", addr: int, length: int):
+        self.arena = arena
+        self.addr = addr
+        self.data = bytearray(length)
+        self.pinned_pages = 0
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    @property
+    def npages(self) -> int:
+        return pages_spanned(self.addr, self.length)
+
+    def fill(self, payload: bytes, offset: int = 0) -> None:
+        if offset < 0 or offset + len(payload) > self.length:
+            raise ValueError(
+                f"fill of {len(payload)} bytes at offset {offset} "
+                f"overruns buffer of {self.length}"
+            )
+        self.data[offset : offset + len(payload)] = payload
+
+    def peek(self, offset: int = 0, length: Optional[int] = None) -> bytes:
+        if length is None:
+            length = self.length - offset
+        if offset < 0 or offset + length > self.length:
+            raise ValueError("peek out of bounds")
+        return bytes(self.data[offset : offset + length])
+
+
+def pages_spanned(addr: int, length: int) -> int:
+    """Number of pages a virtual range touches (page-alignment aware)."""
+    if length <= 0:
+        return 0
+    first = addr // PAGE_SIZE
+    last = (addr + length - 1) // PAGE_SIZE
+    return last - first + 1
+
+
+class MemoryArena:
+    """Per-node virtual memory: a bump allocator over real bytearrays.
+
+    Allocations are page-aligned so registration page counts match what a
+    kernel would see.  ``resolve`` maps an arbitrary virtual range back to
+    the buffer that contains it — this is the path the all-physical
+    (global steering tag) mode uses, since it bypasses the TPT entirely.
+    """
+
+    def __init__(self, name: str = "mem", base: int = 0x1000_0000):
+        self.name = name
+        self._next = base
+        self._starts: list[int] = []
+        self._buffers: dict[int, MemoryBuffer] = {}
+        self.allocated_bytes = 0
+
+    def alloc(self, length: int) -> MemoryBuffer:
+        if length <= 0:
+            raise ValueError(f"allocation of {length} bytes")
+        addr = self._next
+        buf = MemoryBuffer(self, addr, length)
+        self._buffers[addr] = buf
+        insort(self._starts, addr)
+        # Page-align the next allocation; keep a guard page between
+        # buffers so stray accesses can't silently alias a neighbour.
+        self._next += ((length + PAGE_SIZE - 1) // PAGE_SIZE + 1) * PAGE_SIZE
+        self.allocated_bytes += length
+        return buf
+
+    def free(self, buf: MemoryBuffer) -> None:
+        if self._buffers.pop(buf.addr, None) is None:
+            raise ValueError("free of buffer not in this arena")
+        self._starts.remove(buf.addr)
+        self.allocated_bytes -= buf.length
+
+    def resolve(self, addr: int, length: int) -> tuple[MemoryBuffer, int]:
+        """Find the buffer containing ``[addr, addr+length)``; offset into it."""
+        idx = bisect_right(self._starts, addr) - 1
+        if idx >= 0:
+            buf = self._buffers[self._starts[idx]]
+            off = addr - buf.addr
+            if 0 <= off and off + length <= buf.length:
+                return buf, off
+        raise ProtectionError(f"address range {addr:#x}+{length} maps no buffer")
+
+
+@dataclass(frozen=True)
+class RegistrationCosts:
+    """Cost model for the registration machinery (DESIGN.md §4).
+
+    *CPU* costs (pinning, address translation) run on the node's cores
+    and parallelise; *TPT* costs occupy the HCA's single TPT engine and
+    serialise, which is why they bound throughput under multi-threaded
+    load.  FMR pre-allocates TPT entries so its map/unmap transactions
+    are cheaper; unmapping an FMR batches the invalidate (Mellanox-style
+    deferred flush), making it cheaper still.
+    """
+
+    pin_cpu_per_page_us: float = 0.25
+    unpin_cpu_per_page_us: float = 0.10
+    reg_tpt_base_us: float = 4.0
+    reg_tpt_per_page_us: float = 7.0
+    dereg_tpt_base_us: float = 3.0
+    dereg_tpt_per_page_us: float = 3.8
+    fmr_map_base_us: float = 3.0
+    fmr_map_per_page_us: float = 5.5
+    fmr_unmap_base_us: float = 2.0
+    fmr_unmap_per_page_us: float = 2.8
+
+    def reg_tpt_us(self, npages: int) -> float:
+        return self.reg_tpt_base_us + npages * self.reg_tpt_per_page_us
+
+    def dereg_tpt_us(self, npages: int) -> float:
+        return self.dereg_tpt_base_us + npages * self.dereg_tpt_per_page_us
+
+    def fmr_map_us(self, npages: int) -> float:
+        return self.fmr_map_base_us + npages * self.fmr_map_per_page_us
+
+    def fmr_unmap_us(self, npages: int) -> float:
+        return self.fmr_unmap_base_us + npages * self.fmr_unmap_per_page_us
+
+
+class MemoryRegion:
+    """A registered window over a buffer, addressable by steering tag."""
+
+    __slots__ = ("tpt", "stag", "buffer", "addr", "length", "access", "valid", "is_fmr")
+
+    def __init__(
+        self,
+        tpt: "TranslationProtectionTable",
+        stag: int,
+        buffer: MemoryBuffer,
+        addr: int,
+        length: int,
+        access: AccessFlags,
+        is_fmr: bool = False,
+    ):
+        self.tpt = tpt
+        self.stag = stag
+        self.buffer = buffer
+        self.addr = addr
+        self.length = length
+        self.access = access
+        self.valid = True
+        self.is_fmr = is_fmr
+
+    @property
+    def npages(self) -> int:
+        return pages_spanned(self.addr, self.length)
+
+    def _offset(self, addr: int, length: int) -> int:
+        if not self.valid:
+            raise ProtectionError("access through invalidated MR", self.stag)
+        if addr < self.addr or addr + length > self.addr + self.length:
+            raise ProtectionError(
+                f"range {addr:#x}+{length} outside MR [{self.addr:#x}, "
+                f"{self.addr + self.length:#x})",
+                self.stag,
+            )
+        return (addr - self.addr) + (self.addr - self.buffer.addr)
+
+    def read(self, addr: int, length: int) -> bytes:
+        off = self._offset(addr, length)
+        return bytes(self.buffer.data[off : off + length])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        off = self._offset(addr, len(payload))
+        self.buffer.data[off : off + len(payload)] = payload
+
+    def invalidate(self) -> None:
+        """Synchronously drop the mapping (no cost; used by teardown paths)."""
+        if self.valid:
+            self.valid = False
+            self.tpt._entries.pop(self.stag, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "valid" if self.valid else "stale"
+        return f"<MR stag={self.stag:#010x} {self.addr:#x}+{self.length} {state}>"
+
+
+class TranslationProtectionTable:
+    """Per-HCA stag → MR map plus the serialized TPT update engine.
+
+    ``register``/``deregister`` are *processes*: they charge pin/unpin
+    CPU on the owning node and occupy the TPT engine for the modeled
+    I/O-bus transaction.  ``lookup`` is the zero-cost data-path check
+    performed by the HCA on every incoming RDMA operation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu,  # repro.osmodel.CPU
+        costs: RegistrationCosts,
+        rng: DeterministicRNG,
+        name: str = "tpt",
+    ):
+        self.sim = sim
+        self.cpu = cpu
+        self.costs = costs
+        self.rng = rng
+        self.name = name
+        self.engine = Resource(sim, capacity=1, name=f"{name}.engine")
+        self._entries: dict[int, MemoryRegion] = {}
+        self.registrations = Counter(f"{name}.registrations")
+        self.deregistrations = Counter(f"{name}.deregistrations")
+        self.protection_faults = Counter(f"{name}.faults")
+        self.stags_exposed_ever: set[int] = set()
+
+    # -- stag management --------------------------------------------------
+    def _fresh_stag(self) -> int:
+        while True:
+            stag = self.rng.integers(1, 2**32)  # 0 is reserved
+            if stag not in self._entries:
+                return stag
+
+    def allocate_stag(self) -> int:
+        """Reserve a stag without binding it (FMR pools pre-allocate these)."""
+        stag = self._fresh_stag()
+        self._entries[stag] = None  # type: ignore[assignment]
+        return stag
+
+    # -- control path (costed processes) ----------------------------------
+    def register(
+        self,
+        buffer: MemoryBuffer,
+        access: AccessFlags,
+        addr: Optional[int] = None,
+        length: Optional[int] = None,
+    ) -> Generator:
+        """Process: register a window of ``buffer``; returns the MR."""
+        addr = buffer.addr if addr is None else addr
+        length = buffer.length if length is None else length
+        if addr < buffer.addr or addr + length > buffer.addr + buffer.length:
+            raise ValueError("registration window outside buffer")
+        npages = pages_spanned(addr, length)
+        # Pin + translate on the CPU (parallelisable across cores).
+        yield from self.cpu.consume(npages * self.costs.pin_cpu_per_page_us)
+        buffer.pinned_pages += npages
+        # Serialized TPT update transaction on the HCA.
+        req = self.engine.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.costs.reg_tpt_us(npages))
+        finally:
+            self.engine.release(req)
+        stag = self._fresh_stag()
+        mr = MemoryRegion(self, stag, buffer, addr, length, access)
+        self._entries[stag] = mr
+        self.registrations.add()
+        if access.remote:
+            self.stags_exposed_ever.add(stag)
+        return mr
+
+    def deregister(self, mr: MemoryRegion) -> Generator:
+        """Process: invalidate TPT entries, then unpin pages."""
+        if not mr.valid:
+            return
+        npages = mr.npages
+        req = self.engine.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.costs.dereg_tpt_us(npages))
+        finally:
+            self.engine.release(req)
+        mr.invalidate()
+        mr.buffer.pinned_pages -= npages
+        yield from self.cpu.consume(npages * self.costs.unpin_cpu_per_page_us)
+        self.deregistrations.add()
+
+    # -- data path (free; performed by HCA hardware) ----------------------
+    def lookup(self, stag: int, addr: int, length: int, need: AccessFlags) -> MemoryRegion:
+        mr = self._entries.get(stag)
+        if mr is None or not mr.valid:
+            self.protection_faults.add()
+            raise ProtectionError(f"stag {stag:#010x} not in TPT", stag)
+        if need & ~mr.access:
+            self.protection_faults.add()
+            raise ProtectionError(
+                f"stag {stag:#010x} lacks {need!r} (has {mr.access!r})", stag
+            )
+        if addr < mr.addr or addr + length > mr.addr + mr.length:
+            self.protection_faults.add()
+            raise ProtectionError(
+                f"stag {stag:#010x} range {addr:#x}+{length} out of bounds", stag
+            )
+        return mr
+
+    # -- audit -------------------------------------------------------------
+    def remotely_exposed(self) -> list[MemoryRegion]:
+        """MRs a remote peer could currently name (the attack surface)."""
+        return [
+            mr
+            for mr in self._entries.values()
+            if mr is not None and mr.valid and mr.access.remote
+        ]
+
+    @property
+    def live_entries(self) -> int:
+        return sum(1 for mr in self._entries.values() if mr is not None and mr.valid)

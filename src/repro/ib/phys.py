@@ -1,0 +1,99 @@
+"""All-physical registration via the Global Steering Tag (§4.3).
+
+Privileged consumers may skip per-buffer registration entirely and let
+RDMA operations name *physical* addresses under a single well-known
+steering tag.  The consumer must still pin memory and obtain the
+virtual→physical mapping, but no TPT update is needed — registration
+cost disappears from the critical path (the best Read throughput in
+Fig 9a).
+
+Two consequences the paper measures, both modeled here:
+
+* **Security**: the global stag authorises access to *all* of the
+  exposing node's pinned memory — acceptable only "where there is
+  confidence in the integrity of the [peer]", i.e. clients trusting the
+  server, never the reverse.
+* **No scatter/gather**: physically-addressed operations cannot ride a
+  single virtually-contiguous descriptor; a transfer must be split at
+  every physical-contiguity break.  ``chunk_runs`` performs that split,
+  which is what multiplies RDMA Reads on the NFS WRITE path and runs
+  into the IRD/ORD cap (Fig 9b).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim import Counter, DeterministicRNG
+from repro.ib.memory import MemoryArena, MemoryBuffer, ProtectionError
+
+__all__ = ["GLOBAL_STAG", "PhysicalAccessMap"]
+
+#: The reserved steering tag naming physical memory (cf. IB's reserved lkey).
+GLOBAL_STAG = 0xFFFF_FFFF
+
+
+class PhysicalAccessMap:
+    """Resolves global-stag operations against a node's arena.
+
+    ``enabled`` is the privilege gate: an HCA only honours the global
+    stag when its owner opted in (the paper's "environments where there
+    is confidence in the integrity of the server").
+    """
+
+    def __init__(
+        self,
+        arena: MemoryArena,
+        rng: DeterministicRNG,
+        enabled: bool = False,
+        mean_contig_run_bytes: int = 16 * 1024,
+        name: str = "phys",
+    ):
+        if mean_contig_run_bytes < 4096:
+            raise ValueError("physical runs are at least one page")
+        self.arena = arena
+        self.rng = rng
+        self.enabled = enabled
+        self.mean_contig_run_bytes = mean_contig_run_bytes
+        self.name = name
+        self.accesses = Counter(f"{name}.accesses")
+        self.rejections = Counter(f"{name}.rejections")
+
+    def resolve(self, addr: int, length: int) -> tuple[MemoryBuffer, int]:
+        """Data-path check for an incoming global-stag operation."""
+        if not self.enabled:
+            self.rejections.add()
+            raise ProtectionError("global stag not honoured by this HCA", GLOBAL_STAG)
+        try:
+            buf, off = self.arena.resolve(addr, length)
+        except ProtectionError:
+            self.rejections.add()
+            raise
+        self.accesses.add()
+        return buf, off
+
+    def chunk_runs(self, addr: int, length: int) -> Iterator[tuple[int, int]]:
+        """Split a virtual range at physical-contiguity breaks.
+
+        Physical page placement is not tracked individually; instead run
+        lengths are drawn (deterministically, seeded by the address) from
+        a geometric-ish distribution with the configured mean, matching
+        the fragmented look of kernel page allocations.  Splits are
+        page-aligned.
+        """
+        if length <= 0:
+            return
+        rng = self.rng.child(f"runs-{addr}")
+        pos = addr
+        remaining = length
+        while remaining > 0:
+            mean_pages = max(1, self.mean_contig_run_bytes // 4096)
+            run_pages = max(1, int(rng.exponential(mean_pages) + 0.5))
+            run = min(remaining, run_pages * 4096)
+            # First run ends at a page boundary relative to addr alignment.
+            misalign = pos % 4096
+            if misalign:
+                run = min(run, 4096 - misalign + (run_pages - 1) * 4096)
+            yield pos, run
+            pos += run
+            remaining -= run

@@ -1,0 +1,39 @@
+"""NFSv3 file handles: opaque server-minted capabilities for inodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, XdrError
+
+__all__ = ["FileHandle"]
+
+_FH_BYTES = 16
+
+
+@dataclass(frozen=True)
+class FileHandle:
+    """(fsid, fileid, generation) packed into a 16-byte opaque handle."""
+
+    fsid: int
+    fileid: int
+    generation: int = 0
+
+    def encode(self, enc: XdrEncoder) -> None:
+        body = (
+            self.fsid.to_bytes(4, "big")
+            + self.fileid.to_bytes(8, "big")
+            + self.generation.to_bytes(4, "big")
+        )
+        enc.opaque(body)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "FileHandle":
+        body = dec.opaque()
+        if len(body) != _FH_BYTES:
+            raise XdrError(f"file handle of {len(body)} bytes, expected {_FH_BYTES}")
+        return cls(
+            fsid=int.from_bytes(body[0:4], "big"),
+            fileid=int.from_bytes(body[4:12], "big"),
+            generation=int.from_bytes(body[12:16], "big"),
+        )

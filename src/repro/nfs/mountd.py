@@ -1,0 +1,212 @@
+"""The MOUNT v3 protocol and a portmapper: how a client gets its root.
+
+NFS itself never hands out the first file handle — a separate MOUNT RPC
+program does (after the portmapper says where to find it), with an
+export table deciding who may mount what.  Including them makes the
+simulated deployment bootstrap the way a real one does, and gives the
+security story its first gate: an export list rejection happens before
+a single NFS operation.
+
+Programs:
+
+* ``portmapper`` (prog 100000): GETPORT — program number → port.
+* ``mountd`` (prog 100005): MNT (path → file handle), UMNT, EXPORT
+  (list exports), DUMP (list active mounts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.fs.api import FileSystem, FsError
+from repro.nfs.fh import FileHandle
+from repro.rpc.msg import RpcCall, RpcReply
+from repro.rpc.svc import RpcServer
+from repro.rpc.transport import RpcClientTransport
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, XdrError
+from repro.sim import Counter
+
+__all__ = [
+    "Export",
+    "MountClient",
+    "MountServer",
+    "Portmapper",
+    "MOUNT_PROG",
+    "PMAP_PROG",
+]
+
+PMAP_PROG = 100000
+PMAP_VERS = 2
+PMAP_GETPORT = 3
+
+MOUNT_PROG = 100005
+MOUNT_VERS = 3
+MNT = 1
+DUMP = 2
+UMNT = 3
+EXPORT = 5
+
+MNT3_OK = 0
+MNT3ERR_NOENT = 2
+MNT3ERR_ACCES = 13
+MNT3ERR_NOTDIR = 20
+
+
+@dataclass(frozen=True)
+class Export:
+    """One exported subtree with a client allow-list."""
+
+    path: str
+    allowed_clients: frozenset[str] = frozenset()   # empty = everyone
+    read_only: bool = False
+
+    def admits(self, client_name: str) -> bool:
+        return not self.allowed_clients or client_name in self.allowed_clients
+
+
+class Portmapper:
+    """prog 100000: program-number → port directory."""
+
+    def __init__(self, rpc_server: RpcServer):
+        self._registry: dict[tuple[int, int], int] = {}
+        self.lookups = Counter("pmap.lookups")
+        rpc_server.register_program(PMAP_PROG, PMAP_VERS, self.handle)
+
+    def set(self, prog: int, vers: int, port: int) -> None:
+        self._registry[(prog, vers)] = port
+
+    def handle(self, call: RpcCall) -> Generator:
+        if False:
+            yield
+        dec = XdrDecoder(call.header)
+        enc = XdrEncoder()
+        if call.proc == PMAP_GETPORT:
+            prog = dec.u32()
+            vers = dec.u32()
+            self.lookups.add()
+            enc.u32(self._registry.get((prog, vers), 0))
+        else:
+            enc.u32(0)
+        return RpcReply(xid=call.xid, header=enc.take())
+
+
+class MountServer:
+    """prog 100005: export-gated distribution of root file handles."""
+
+    def __init__(self, rpc_server: RpcServer, fs: FileSystem,
+                 exports: list[Export], fsid: int = 1, name: str = "mountd"):
+        self.fs = fs
+        self.exports = {e.path: e for e in exports}
+        self.fsid = fsid
+        self.name = name
+        self.mounts: dict[tuple[str, str], FileHandle] = {}
+        self.grants = Counter(f"{name}.grants")
+        self.rejections = Counter(f"{name}.rejections")
+        rpc_server.register_program(MOUNT_PROG, MOUNT_VERS, self.handle)
+
+    def handle(self, call: RpcCall) -> Generator:
+        dec = XdrDecoder(call.header)
+        try:
+            if call.proc == MNT:
+                return (yield from self._mnt(call, dec))
+            if call.proc == UMNT:
+                client = dec.string()
+                path = dec.string()
+                self.mounts.pop((client, path), None)
+                return RpcReply(xid=call.xid, header=XdrEncoder().u32(0).take())
+            if call.proc == EXPORT:
+                enc = XdrEncoder()
+                enc.array(sorted(self.exports), lambda e, p: e.string(p))
+                return RpcReply(xid=call.xid, header=enc.take())
+            if call.proc == DUMP:
+                enc = XdrEncoder()
+                enc.array(
+                    sorted(self.mounts),
+                    lambda e, key: (e.string(key[0]), e.string(key[1])),
+                )
+                return RpcReply(xid=call.xid, header=enc.take())
+        except XdrError:
+            pass
+        return RpcReply(xid=call.xid, stat=1, header=b"")
+
+    def _mnt(self, call: RpcCall, dec: XdrDecoder) -> Generator:
+        client = dec.string()
+        path = dec.string()
+        enc = XdrEncoder()
+        export = self.exports.get(path)
+        if export is None:
+            self.rejections.add()
+            enc.u32(MNT3ERR_NOENT)
+            return RpcReply(xid=call.xid, header=enc.take())
+        if not export.admits(client):
+            self.rejections.add()
+            enc.u32(MNT3ERR_ACCES)
+            return RpcReply(xid=call.xid, header=enc.take())
+        # Resolve the export path inside the backend file system.
+        fileid = self.fs.root_id
+        for part in [p for p in path.split("/") if p]:
+            try:
+                fileid = yield from self.fs.lookup(fileid, part)
+            except FsError:
+                self.rejections.add()
+                enc.u32(MNT3ERR_NOENT)
+                return RpcReply(xid=call.xid, header=enc.take())
+        fh = FileHandle(fsid=self.fsid, fileid=fileid)
+        self.mounts[(client, path)] = fh
+        self.grants.add()
+        enc.u32(MNT3_OK)
+        fh.encode(enc)
+        return RpcReply(xid=call.xid, header=enc.take())
+
+
+class MountError(Exception):
+    """MNT denied (unknown export or client not admitted)."""
+
+    def __init__(self, status: int):
+        super().__init__(f"mount denied: status {status}")
+        self.status = status
+
+
+class MountClient:
+    """Client-side bootstrap: portmapper lookup, then MNT."""
+
+    def __init__(self, transport: RpcClientTransport, client_name: str):
+        self.transport = transport
+        self.client_name = client_name
+
+    def getport(self, prog: int, vers: int) -> Generator:
+        enc = XdrEncoder()
+        enc.u32(prog)
+        enc.u32(vers)
+        call = RpcCall(prog=PMAP_PROG, vers=PMAP_VERS, proc=PMAP_GETPORT,
+                       header=enc.take())
+        reply = yield from self.transport.call(call)
+        return XdrDecoder(reply.header).u32()
+
+    def mount(self, path: str) -> Generator:
+        """→ the export's root FileHandle, or raises MountError."""
+        enc = XdrEncoder()
+        enc.string(self.client_name)
+        enc.string(path)
+        call = RpcCall(prog=MOUNT_PROG, vers=MOUNT_VERS, proc=MNT,
+                       header=enc.take())
+        reply = yield from self.transport.call(call)
+        dec = XdrDecoder(reply.header)
+        status = dec.u32()
+        if status != MNT3_OK:
+            raise MountError(status)
+        return FileHandle.decode(dec)
+
+    def unmount(self, path: str) -> Generator:
+        enc = XdrEncoder()
+        enc.string(self.client_name)
+        enc.string(path)
+        call = RpcCall(prog=MOUNT_PROG, vers=MOUNT_VERS, proc=UMNT,
+                       header=enc.take())
+        yield from self.transport.call(call)
+
+    def list_exports(self) -> Generator:
+        call = RpcCall(prog=MOUNT_PROG, vers=MOUNT_VERS, proc=EXPORT, header=b"")
+        reply = yield from self.transport.call(call)
+        return XdrDecoder(reply.header).array(lambda d: d.string())

@@ -1,0 +1,27 @@
+"""Operating-system model: CPUs, interrupts, slab allocator, threads.
+
+The paper's CPU-utilization results (client CPU in Figs 6–9) and the
+TCP-vs-RDMA scalability gap (Fig 10) are driven by where CPU cycles go:
+data copies, per-operation protocol work, registration calls and
+completion interrupts.  This package models a node's cores as a
+contended resource with time-weighted utilization accounting, an
+interrupt controller that charges per-interrupt CPU cost, a slab
+allocator (the substrate for the server buffer-registration cache of
+§4.3), and a kernel thread pool (the NFS server task queue of Fig 1).
+"""
+
+from repro.osmodel.cpu import CPU, CPUConfig
+from repro.osmodel.interrupts import InterruptController
+from repro.osmodel.slab import SlabAllocator, SlabCache, SlabObject
+from repro.osmodel.threads import KernelThreadPool, TaskFailure
+
+__all__ = [
+    "CPU",
+    "CPUConfig",
+    "InterruptController",
+    "KernelThreadPool",
+    "TaskFailure",
+    "SlabAllocator",
+    "SlabCache",
+    "SlabObject",
+]

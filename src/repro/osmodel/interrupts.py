@@ -1,0 +1,55 @@
+"""Interrupt delivery with per-interrupt CPU cost.
+
+Every completion interrupt steals CPU from the node.  The Read-Write
+design eliminates the ``RDMA_DONE`` send (and its interrupt at the
+server) and lets one send-completion interrupt cover all preceding RDMA
+Writes — §4.2.  Charging interrupts here lets that saving show up in
+measured utilization and throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.sim import Counter, Simulator
+from repro.osmodel.cpu import CPU
+
+
+class InterruptController:
+    """Charges CPU for each interrupt and invokes the handler process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: CPU,
+        cost_us: float = 4.0,
+        coalesce_window_us: float = 0.0,
+        name: str = "irq",
+    ):
+        if cost_us < 0:
+            raise ValueError("interrupt cost must be non-negative")
+        self.sim = sim
+        self.cpu = cpu
+        self.cost_us = cost_us
+        self.coalesce_window_us = coalesce_window_us
+        self.name = name
+        self.delivered = Counter(f"{name}.delivered")
+        self.coalesced = Counter(f"{name}.coalesced")
+        self._last_delivery = -float("inf")
+
+    def raise_irq(self, handler: Optional[Callable[[], Generator]] = None) -> Generator:
+        """Process generator: deliver one interrupt.
+
+        If a previous interrupt was delivered within the coalescing
+        window the CPU charge is skipped (the handler still runs): this
+        models completion-event moderation on the HCA.
+        """
+        now = self.sim.now
+        if self.coalesce_window_us > 0 and now - self._last_delivery < self.coalesce_window_us:
+            self.coalesced.add()
+        else:
+            self._last_delivery = now
+            self.delivered.add()
+            yield from self.cpu.consume(self.cost_us, priority=-1)
+        if handler is not None:
+            yield from handler()

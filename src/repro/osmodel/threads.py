@@ -1,0 +1,77 @@
+"""Kernel thread pool: the NFS server task queue of Fig 1.
+
+Requests arrive on a :class:`~repro.sim.resources.Store`; ``nthreads``
+worker processes pull and service them.  The pool width is what turns
+the synchronous-RDMA-Read stall of the Read-Read design (§4.1) into a
+throughput cap: while a server thread blocks waiting for an RDMA Read
+to complete, it can service nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.sim import Counter, Simulator, Store
+
+
+class KernelThreadPool:
+    """Fixed pool of worker processes draining a shared task queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nthreads: int,
+        handler: Callable[[int, object], Generator],
+        name: str = "pool",
+    ):
+        if nthreads < 1:
+            raise ValueError("thread pool needs at least one thread")
+        self.sim = sim
+        self.nthreads = nthreads
+        self.handler = handler
+        self.name = name
+        self.queue: Store = Store(sim, name=f"{name}.queue")
+        self.completed = Counter(f"{name}.completed")
+        self.failed = Counter(f"{name}.failed")
+        self._stopping = False
+        self._workers = [
+            sim.process(self._worker(i), name=f"{name}.worker{i}") for i in range(nthreads)
+        ]
+
+    def submit(self, task: object) -> None:
+        """Enqueue one task (non-blocking; the queue is unbounded)."""
+        if self._stopping:
+            raise RuntimeError(f"submit to stopped pool {self.name!r}")
+        self.queue.put(task)
+
+    def stop(self) -> None:
+        """Drain-stop: workers exit after finishing queued tasks."""
+        self._stopping = True
+        for _ in range(self.nthreads):
+            self.queue.put(_STOP)
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)
+
+    def _worker(self, index: int) -> Generator:
+        while True:
+            task = yield self.queue.get()
+            if task is _STOP:
+                return
+            try:
+                yield from self.handler(index, task)
+                self.completed.add()
+            except TaskFailure:
+                self.failed.add()
+
+
+class _Stop:
+    __slots__ = ()
+
+
+_STOP = _Stop()
+
+
+class TaskFailure(Exception):
+    """Raised by handlers to record a failed task without killing the worker."""

@@ -1,0 +1,85 @@
+"""Duplicate request cache: exactly-once semantics for retried RPCs.
+
+NFS over TCP/UDP retransmits calls the client believes lost; without a
+DRC the server would re-execute non-idempotent procedures (CREATE,
+REMOVE, RENAME...) and return spurious errors.  The DRC remembers, per
+(xid, program, procedure), whether a request is in progress (duplicate
+dropped — the original's reply is coming) or completed (cached reply
+replayed without re-execution).
+
+Entries age out LRU beyond ``max_entries``, the classic bounded-DRC
+design (and its classic caveat: a retransmit older than the cache
+horizon can re-execute; tests pin the horizon behavior).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Optional, Union
+
+from repro.rpc.msg import RpcReply
+from repro.sim import Counter
+
+__all__ = ["DrcDecision", "DuplicateRequestCache"]
+
+#: Cache key: (xid, prog, proc).
+_Key = tuple[int, int, int]
+
+
+class DrcDecision(enum.Enum):
+    NEW = "new"                  # never seen: execute it
+    IN_PROGRESS = "in-progress"  # duplicate of a running request: drop
+    REPLAY = "replay"            # completed: replay the cached reply
+
+
+class _InProgress:
+    __slots__ = ()
+
+
+_IN_PROGRESS = _InProgress()
+
+
+class DuplicateRequestCache:
+    """Bounded LRU of request outcomes."""
+
+    def __init__(self, max_entries: int = 1024, name: str = "drc"):
+        if max_entries < 1:
+            raise ValueError("DRC needs at least one entry")
+        self.max_entries = max_entries
+        self.name = name
+        self._entries: OrderedDict[_Key, Union[_InProgress, RpcReply]] = OrderedDict()
+        self.replays = Counter(f"{name}.replays")
+        self.drops = Counter(f"{name}.drops")
+        self.inserts = Counter(f"{name}.inserts")
+
+    def check(self, xid: int, prog: int, proc: int) -> tuple[DrcDecision, Optional[RpcReply]]:
+        """Classify an arriving call; REPLAY includes the cached reply."""
+        key = (xid, prog, proc)
+        entry = self._entries.get(key)
+        if entry is None:
+            return DrcDecision.NEW, None
+        self._entries.move_to_end(key)
+        if isinstance(entry, _InProgress):
+            self.drops.add()
+            return DrcDecision.IN_PROGRESS, None
+        self.replays.add()
+        return DrcDecision.REPLAY, entry
+
+    def begin(self, xid: int, prog: int, proc: int) -> None:
+        """Record a request as executing."""
+        key = (xid, prog, proc)
+        self._entries[key] = _IN_PROGRESS
+        self._entries.move_to_end(key)
+        self.inserts.add()
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def complete(self, xid: int, prog: int, proc: int, reply: RpcReply) -> None:
+        """Record the outcome for future replays."""
+        key = (xid, prog, proc)
+        if key in self._entries:
+            self._entries[key] = reply
+
+    def __len__(self) -> int:
+        return len(self._entries)

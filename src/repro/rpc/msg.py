@@ -1,0 +1,162 @@
+"""ONC RPC call/reply messages (RFC 5531, trimmed to what NFS needs).
+
+``RpcCall``/``RpcReply`` carry the XDR-encoded procedure header in
+``header`` and bulk data out-of-band in ``write_payload`` (client →
+server, e.g. NFS WRITE data) and ``read_payload`` (server → client,
+e.g. NFS READ data).  On TCP the transport just concatenates them; on
+RPC/RDMA the transport moves them via chunks — which is the entire
+subject of the paper.
+
+The client also passes *hints*:
+
+``read_len_hint``
+    Upper bound on the reply's bulk data (the NFS READ ``count``).  The
+    Read-Write design uses it to size the write chunk advertised in the
+    call.
+``reply_len_hint``
+    Upper bound on the reply *header* when it may exceed the inline
+    threshold (READDIR/READLINK).  Sizes the reply chunk (RPC long
+    reply).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rpc.xdr import XdrDecoder, XdrEncoder
+
+__all__ = [
+    "MSG_ACCEPTED",
+    "MSG_DENIED",
+    "RpcCall",
+    "RpcError",
+    "RpcReply",
+    "frame_message",
+    "unframe_message",
+]
+
+_xids = itertools.count(0x10_0000)
+
+RPC_VERSION = 2
+CALL = 0
+REPLY = 1
+MSG_ACCEPTED = 0
+MSG_DENIED = 1
+
+
+class RpcError(Exception):
+    """Protocol-level RPC failure (garbage args, prog unavailable...)."""
+
+
+@dataclass
+class RpcCall:
+    """One RPC request."""
+
+    prog: int
+    vers: int
+    proc: int
+    header: bytes = b""
+    write_payload: Optional[bytes] = None
+    read_len_hint: int = 0
+    reply_len_hint: int = 0
+    #: Optional caller-owned, RDMA-addressable source holding
+    #: ``write_payload`` — lets RDMA transports send zero-copy.
+    write_buffer: Optional[object] = None
+    #: Optional caller-owned destination for reply bulk data — the
+    #: direct-I/O zero-copy READ path of the Read-Write design.
+    read_buffer: Optional[object] = None
+    xid: int = field(default_factory=lambda: next(_xids))
+
+    def encode(self) -> bytes:
+        """Wire encoding of the call *header* (bulk rides separately)."""
+        enc = XdrEncoder()
+        enc.u32(self.xid)
+        enc.u32(CALL)
+        enc.u32(RPC_VERSION)
+        enc.u32(self.prog)
+        enc.u32(self.vers)
+        enc.u32(self.proc)
+        # AUTH_NONE credential + verifier.
+        enc.u32(0).opaque(b"")
+        enc.u32(0).opaque(b"")
+        enc.raw(_aligned(self.header))
+        return enc.take()
+
+    @classmethod
+    def decode(cls, data: bytes, header_len: Optional[int] = None) -> "RpcCall":
+        dec = XdrDecoder(data)
+        xid = dec.u32()
+        if dec.u32() != CALL:
+            raise RpcError("not an RPC call")
+        if dec.u32() != RPC_VERSION:
+            raise RpcError("bad RPC version")
+        prog, vers, proc = dec.u32(), dec.u32(), dec.u32()
+        dec.u32(); dec.opaque()  # cred
+        dec.u32(); dec.opaque()  # verf
+        header = dec.remainder()
+        call = cls(prog=prog, vers=vers, proc=proc, header=header, xid=xid)
+        return call
+
+
+@dataclass
+class RpcReply:
+    """One RPC response."""
+
+    xid: int
+    stat: int = MSG_ACCEPTED
+    header: bytes = b""
+    read_payload: Optional[bytes] = None
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder()
+        enc.u32(self.xid)
+        enc.u32(REPLY)
+        enc.u32(self.stat)
+        enc.u32(0).opaque(b"")  # verifier
+        enc.u32(0)              # accept stat SUCCESS
+        enc.raw(_aligned(self.header))
+        return enc.take()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RpcReply":
+        dec = XdrDecoder(data)
+        xid = dec.u32()
+        if dec.u32() != REPLY:
+            raise RpcError("not an RPC reply")
+        stat = dec.u32()
+        dec.u32(); dec.opaque()  # verifier
+        accept = dec.u32()
+        if stat == MSG_ACCEPTED and accept != 0:
+            raise RpcError(f"RPC accepted with error status {accept}")
+        return cls(xid=xid, stat=stat, header=dec.remainder())
+
+
+def _aligned(data: bytes) -> bytes:
+    """Pad arbitrary header bytes to XDR alignment for splicing."""
+    pad = (4 - len(data) % 4) % 4
+    return data + b"\x00" * pad if pad else data
+
+
+import struct as _struct
+
+_FRAME_LEN = _struct.Struct(">I")
+
+
+def frame_message(header: bytes, payload: Optional[bytes]) -> bytes:
+    """``[u32 header_len][header][bulk]`` — the byte-count-equivalent
+    stand-in for XDR-inline bulk encoding, shared by every transport."""
+    return _FRAME_LEN.pack(len(header)) + header + (payload or b"")
+
+
+def unframe_message(message: bytes) -> tuple[bytes, Optional[bytes]]:
+    """Inverse of :func:`frame_message`."""
+    if len(message) < 4:
+        raise RpcError("short RPC record")
+    (hlen,) = _FRAME_LEN.unpack_from(message)
+    if 4 + hlen > len(message):
+        raise RpcError("RPC record header overruns message")
+    header = message[4 : 4 + hlen]
+    payload = message[4 + hlen :] or None
+    return header, payload

@@ -1,0 +1,190 @@
+"""XDR (RFC 4506) encoding — the wire language of ONC RPC and NFS.
+
+Only the subset NFS v3 and RPC/RDMA need: 32/64-bit (un)signed ints,
+booleans, variable-length opaques/strings (padded to 4-byte alignment)
+and counted arrays.  Everything the stack puts on the simulated wire
+round-trips through these real bytes, so header sizes — and therefore
+inline-threshold decisions in the RPC/RDMA transport — are genuine.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, TypeVar
+
+__all__ = ["XdrDecoder", "XdrEncoder", "XdrError"]
+
+T = TypeVar("T")
+
+_U32 = struct.Struct(">I")
+_I32 = struct.Struct(">i")
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+
+
+class XdrError(ValueError):
+    """Malformed XDR data or out-of-range value."""
+
+
+def _pad(n: int) -> int:
+    return (4 - n % 4) % 4
+
+
+class XdrEncoder:
+    """Append-only XDR byte builder."""
+
+    def __init__(self):
+        self._parts: list[bytes] = []
+        self._length = 0
+
+    def _push(self, raw: bytes) -> "XdrEncoder":
+        self._parts.append(raw)
+        self._length += len(raw)
+        return self
+
+    # -- scalars -----------------------------------------------------------
+    def u32(self, value: int) -> "XdrEncoder":
+        if not 0 <= value < 2**32:
+            raise XdrError(f"u32 out of range: {value}")
+        return self._push(_U32.pack(value))
+
+    def i32(self, value: int) -> "XdrEncoder":
+        if not -(2**31) <= value < 2**31:
+            raise XdrError(f"i32 out of range: {value}")
+        return self._push(_I32.pack(value))
+
+    def u64(self, value: int) -> "XdrEncoder":
+        if not 0 <= value < 2**64:
+            raise XdrError(f"u64 out of range: {value}")
+        return self._push(_U64.pack(value))
+
+    def i64(self, value: int) -> "XdrEncoder":
+        if not -(2**63) <= value < 2**63:
+            raise XdrError(f"i64 out of range: {value}")
+        return self._push(_I64.pack(value))
+
+    def boolean(self, value: bool) -> "XdrEncoder":
+        return self.u32(1 if value else 0)
+
+    # -- composites -----------------------------------------------------------
+    def opaque(self, data: bytes) -> "XdrEncoder":
+        """Variable-length opaque: length prefix + data + pad."""
+        self.u32(len(data))
+        self._push(bytes(data))
+        return self._push(b"\x00" * _pad(len(data)))
+
+    def fixed_opaque(self, data: bytes, size: int) -> "XdrEncoder":
+        if len(data) != size:
+            raise XdrError(f"fixed opaque of {len(data)} bytes, expected {size}")
+        self._push(bytes(data))
+        return self._push(b"\x00" * _pad(size))
+
+    def string(self, text: str) -> "XdrEncoder":
+        return self.opaque(text.encode("utf-8"))
+
+    def array(self, items, encode_item: Callable[["XdrEncoder", T], None]) -> "XdrEncoder":
+        """Counted array: u32 length then each element."""
+        self.u32(len(items))
+        for item in items:
+            encode_item(self, item)
+        return self
+
+    def optional(self, value, encode_value: Callable[["XdrEncoder", T], None]) -> "XdrEncoder":
+        """XDR optional-data (``*`` in XDR language): bool then value."""
+        if value is None:
+            return self.boolean(False)
+        self.boolean(True)
+        encode_value(self, value)
+        return self
+
+    def raw(self, data: bytes) -> "XdrEncoder":
+        """Splice pre-encoded XDR (must already be 4-byte aligned)."""
+        if len(data) % 4:
+            raise XdrError("raw splice not 4-byte aligned")
+        return self._push(data)
+
+    # -- output -----------------------------------------------------------
+    def take(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class XdrDecoder:
+    """Cursor-based XDR reader with strict bounds checking."""
+
+    def __init__(self, data: bytes):
+        self._data = bytes(data)
+        self._pos = 0
+
+    def _pull(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise XdrError(
+                f"truncated XDR: wanted {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    # -- scalars -----------------------------------------------------------
+    def u32(self) -> int:
+        return _U32.unpack(self._pull(4))[0]
+
+    def i32(self) -> int:
+        return _I32.unpack(self._pull(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self._pull(8))[0]
+
+    def i64(self) -> int:
+        return _I64.unpack(self._pull(8))[0]
+
+    def boolean(self) -> bool:
+        value = self.u32()
+        if value not in (0, 1):
+            raise XdrError(f"boolean encoded as {value}")
+        return bool(value)
+
+    # -- composites -----------------------------------------------------------
+    def opaque(self) -> bytes:
+        n = self.u32()
+        data = self._pull(n)
+        self._pull(_pad(n))
+        return data
+
+    def fixed_opaque(self, size: int) -> bytes:
+        data = self._pull(size)
+        self._pull(_pad(size))
+        return data
+
+    def string(self) -> str:
+        return self.opaque().decode("utf-8")
+
+    def array(self, decode_item: Callable[["XdrDecoder"], T], max_items: int = 1 << 20) -> list[T]:
+        n = self.u32()
+        if n > max_items:
+            raise XdrError(f"array of {n} items exceeds cap {max_items}")
+        return [decode_item(self) for _ in range(n)]
+
+    def optional(self, decode_value: Callable[["XdrDecoder"], T]):
+        return decode_value(self) if self.boolean() else None
+
+    def remainder(self) -> bytes:
+        out = self._data[self._pos :]
+        self._pos = len(self._data)
+        return out
+
+    @property
+    def consumed(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def done(self) -> None:
+        """Assert the message was fully consumed (catches codec drift)."""
+        if self.remaining:
+            raise XdrError(f"{self.remaining} trailing bytes after decode")

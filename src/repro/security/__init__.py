@@ -1,0 +1,34 @@
+"""Security evaluation: the §4.1 threat model, executable.
+
+The paper's security argument is comparative: the Read-Read design
+exposes server steering tags and puts server buffer lifetime in client
+hands; the Read-Write design exposes nothing on the server and the
+client's exposure is only toward the (trusted) server.
+:mod:`repro.security.adversary` implements the malicious clients the
+paper describes — steering-tag guessers, RDMA_DONE withholders,
+out-of-bounds readers — and :mod:`repro.security.audit` measures the
+attack surface and reproduces Table 1's primitive-property matrix by
+probing the verbs layer.
+"""
+
+from repro.security.adversary import (
+    DoneWithholdingClient,
+    OutOfBoundsProbe,
+    StagGuessingAdversary,
+)
+from repro.security.audit import (
+    PrimitiveProperties,
+    audit_server_exposure,
+    probe_primitive_properties,
+    stag_guess_success_probability,
+)
+
+__all__ = [
+    "DoneWithholdingClient",
+    "OutOfBoundsProbe",
+    "PrimitiveProperties",
+    "StagGuessingAdversary",
+    "audit_server_exposure",
+    "probe_primitive_properties",
+    "stag_guess_success_probability",
+]

@@ -1,0 +1,142 @@
+"""Malicious clients from §4.1, runnable against either transport design.
+
+``StagGuessingAdversary``
+    "Since the steering tags are 32-bits in length, a misbehaving or
+    malicious client might attempt to guess them and thereby possibly
+    read a buffer for which it did not have access."  The adversary
+    reuses its legitimate RC connection to fire RDMA Reads at random
+    steering tags.  Every guess lands in the target's TPT check; against
+    the Read-Write server there is nothing to hit, ever.
+
+``DoneWithholdingClient``
+    "A malicious or malfunctioning client may never send the RDMA Done
+    message, essentially tying up the server resources."  A Read-Read
+    client whose ``_send_done`` is a no-op: the server's exposed regions
+    accumulate without bound.
+
+``OutOfBoundsProbe``
+    A client that *was* legitimately handed a chunk but tries to read
+    beyond its advertised window — exercising the TPT's bounds checks.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.readread import ReadReadClient
+from repro.ib.fabric import IBNode
+from repro.ib.memory import AccessFlags
+from repro.ib.verbs import QPError, QueuePair, RdmaReadWR, Segment
+from repro.sim import Counter, DeterministicRNG
+
+__all__ = ["DoneWithholdingClient", "OutOfBoundsProbe", "StagGuessingAdversary"]
+
+
+class StagGuessingAdversary:
+    """Fires RDMA Reads at guessed steering tags over a live RC QP.
+
+    Each guess that draws a NAK kills the QP (as real RC semantics
+    demand), so the adversary reconnects — modeled by the caller handing
+    over a fresh QP factory.  Success statistics are recorded either way.
+    """
+
+    def __init__(self, node: IBNode, qp_factory, seed: int = 1337,
+                 probe_bytes: int = 4096):
+        self.node = node
+        self.qp_factory = qp_factory
+        self.rng = DeterministicRNG(seed, "stag-adversary")
+        self.probe_bytes = probe_bytes
+        self.attempts = Counter("adversary.attempts")
+        self.successes = Counter("adversary.successes")
+        self.naks = Counter("adversary.naks")
+        self.stolen: list[bytes] = []
+
+    def run(self, guesses: int, target_stags=None) -> Generator:
+        """Process: make ``guesses`` attempts; optionally bias draws to a
+        candidate list (models an attacker with partial knowledge)."""
+        scratch = self.node.arena.alloc(self.probe_bytes)
+
+        def reg():
+            return (yield from self.node.hca.tpt.register(
+                scratch, AccessFlags.LOCAL_WRITE))
+
+        lmr = yield from reg()
+        qp = self.qp_factory()
+        for _ in range(guesses):
+            if target_stags is not None and self.rng.uniform() < 0.5:
+                stag = self.rng.choice(list(target_stags))
+            else:
+                stag = self.rng.integers(1, 2**32)
+            addr = self.rng.integers(0x1000_0000, 0x1100_0000)
+            wr = RdmaReadWR(
+                self.node.sim,
+                local=[Segment(lmr.stag, lmr.addr, self.probe_bytes)],
+                remote=Segment(stag, addr, self.probe_bytes),
+            )
+            self.attempts.add()
+            try:
+                yield from self.node.hca.post_send(qp, wr)
+            except QPError:
+                qp = self.qp_factory()  # reconnect after a NAK killed it
+                yield from self.node.hca.post_send(qp, wr)
+            yield wr.completion
+            if wr.cqe.ok:
+                self.successes.add()
+                self.stolen.append(scratch.peek(0, self.probe_bytes))
+            else:
+                self.naks.add()
+                if qp.state.name == "ERROR":
+                    qp = self.qp_factory()
+
+    @property
+    def hit_rate(self) -> float:
+        return (self.successes.events / self.attempts.events
+                if self.attempts.events else 0.0)
+
+
+class DoneWithholdingClient(ReadReadClient):
+    """A Read-Read client that never signals RDMA_DONE (§4.1).
+
+    Functionally complete from the application's point of view — reads
+    return correct data — while silently pinning the server's exposed
+    buffers forever.
+    """
+
+    design = "read-read-withholding"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dones_suppressed = Counter(f"{self.name}.suppressed")
+
+    def _send_done(self, xid: int) -> Generator:
+        self.dones_suppressed.add()
+        return
+        yield  # pragma: no cover
+
+
+class OutOfBoundsProbe:
+    """Reads past the end of a legitimately received chunk."""
+
+    def __init__(self, node: IBNode, qp: QueuePair):
+        self.node = node
+        self.qp = qp
+        self.rejected = Counter("oob.rejected")
+        self.leaked = Counter("oob.leaked")
+
+    def probe(self, segment: Segment, overrun_bytes: int) -> Generator:
+        """Process: attempt to read ``overrun_bytes`` past the window."""
+        scratch = self.node.arena.alloc(segment.length + overrun_bytes)
+        lmr = yield from self.node.hca.tpt.register(scratch, AccessFlags.LOCAL_WRITE)
+        wr = RdmaReadWR(
+            self.node.sim,
+            local=[Segment(lmr.stag, lmr.addr, segment.length + overrun_bytes)],
+            remote=Segment(segment.stag, segment.addr,
+                           segment.length + overrun_bytes),
+        )
+        yield from self.node.hca.post_send(self.qp, wr)
+        yield wr.completion
+        if wr.cqe.ok:
+            self.leaked.add(segment.length + overrun_bytes)
+        else:
+            self.rejected.add()
+        return wr.cqe

@@ -1,0 +1,362 @@
+"""Event loop, events and processes for the simulation kernel.
+
+The engine is deliberately small: a binary heap of ``(time, seq, event)``
+entries, an :class:`Event` primitive that fires exactly once, and a
+:class:`Process` wrapper that drives a generator by subscribing it to
+whatever event it yields.  Determinism is guaranteed by the monotone
+``seq`` tiebreaker: two events scheduled for the same instant always fire
+in scheduling order, so repeated runs with the same seed are bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation API (not for modeled failures)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a timeout watchdog or a connection teardown).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event is *triggered* when given a value (or failure) and a position
+    in the schedule; it is *processed* once its callbacks have run.
+    Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event value inspected before trigger")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value inspected before trigger")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully ``delay`` microseconds from now."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled out-of-band (no crash at top level)."""
+        self._defused = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event that fires on return.
+
+    The generator may yield any :class:`Event`.  When that event fires the
+    generator is resumed with the event's value (or the failure exception
+    is thrown into it).  The process event itself succeeds with the
+    generator's return value, or fails with its uncaught exception.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once at the current instant.
+        boot = Event(sim)
+        boot._triggered = True
+        boot._ok = True
+        sim._schedule(boot, 0.0)
+        boot.callbacks.append(self._resume)
+        self._waiting_on = boot
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is None:
+            raise SimulationError("cannot interrupt a process that is currently running")
+        # Detach from whatever it was waiting on.
+        target = self._waiting_on
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        carrier = Event(self.sim)
+        carrier._triggered = True
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        carrier._defused = True
+        self.sim._schedule(carrier, 0.0)
+        carrier.callbacks.append(self._resume)
+        self._waiting_on = carrier
+
+    # -- internal -------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        while True:
+            try:
+                if trigger._ok:
+                    target = self._generator.send(trigger._value)
+                else:
+                    trigger._defused = True
+                    target = self._generator.throw(trigger._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded {type(target).__name__}, expected Event"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as err:
+                    self.fail(err)
+                return
+            if target.sim is not self.sim:
+                self.fail(SimulationError("yielded event belongs to a different Simulator"))
+                return
+            if target._processed:
+                # Already fired: resume immediately with its outcome.
+                trigger = target
+                continue
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+            return
+
+
+class _ConditionBase(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._pending = 0
+        already = []
+        for ev in self._events:
+            if ev._processed:
+                already.append(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._on_fire)
+        for ev in already:
+            if self._triggered:
+                break
+            self._consume(ev)
+        if self._pending == 0 and not self._triggered:
+            self._finish()
+
+    def _on_fire(self, ev: Event) -> None:
+        self._pending -= 1
+        if self._triggered:
+            if not ev._ok:
+                ev._defused = True
+            return
+        self._consume(ev)
+
+    def _consume(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        self.succeed({ev: ev._value for ev in self._events if ev._triggered and ev._ok})
+
+
+class AllOf(_ConditionBase):
+    """Fires when every constituent event has fired (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def _consume(self, ev: Event) -> None:
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev._value if isinstance(ev._value, BaseException) else SimulationError(str(ev._value)))
+            return
+        if self._pending == 0:
+            self._finish()
+
+
+class AnyOf(_ConditionBase):
+    """Fires when the first constituent event fires."""
+
+    __slots__ = ()
+
+    def _consume(self, ev: Event) -> None:
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev._value if isinstance(ev._value, BaseException) else SimulationError(str(ev._value)))
+            return
+        self._finish()
+
+
+class Simulator:
+    """The event loop.  ``now`` is simulated time in microseconds."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- construction helpers -------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event in the schedule."""
+        when, _, event = heapq.heappop(self._queue)
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_until_complete(self, process: Process, limit: float = float("inf")) -> Any:
+        """Run until ``process`` finishes; return its value or raise its error."""
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(f"deadlock: {process.name!r} never completed")
+            if self._queue[0][0] > limit:
+                raise SimulationError(f"time limit {limit} exceeded waiting for {process.name!r}")
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._queue)

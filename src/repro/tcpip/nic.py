@@ -1,0 +1,74 @@
+"""NIC profiles: Gigabit Ethernet and IP-over-InfiniBand.
+
+A profile bundles the wire parameters with the host-side CPU cost
+structure of driving that NIC through the TCP stack.  ``cpu_passes_*``
+counts how many times each payload byte crosses the memory bus on each
+side (copies + checksum); multiplied by the node's memcpy cost it gives
+the per-byte CPU demand that makes IPoIB CPU-bound in Fig 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ib.link import DuplexLink, LinkConfig
+from repro.sim import Simulator
+
+__all__ = ["GIGE_PROFILE", "IPOIB_PROFILE", "NicProfile"]
+
+
+@dataclass(frozen=True)
+class NicProfile:
+    """Wire + host-cost description of one NIC type."""
+
+    name: str
+    link: LinkConfig
+    #: memory-bus passes per payload byte on transmit (copy-to-skb + csum).
+    cpu_passes_tx: float = 2.0
+    #: passes per byte on receive (DMA'd skb -> socket buf -> user + csum).
+    cpu_passes_rx: float = 3.0
+    #: fixed stack cost per segment on each side (protocol processing).
+    per_segment_cpu_us: float = 2.0
+    #: TCP segment size carried per wire frame train (LRO/GSO-ish batch).
+    segment_bytes: int = 32 * 1024
+    #: receive interrupt coalescing window.
+    rx_interrupt_coalesce_us: float = 30.0
+
+    def port(self, sim: Simulator, name: str) -> DuplexLink:
+        """Fabricate a port of this NIC type for a node."""
+        return DuplexLink(sim, self.link, name=name)
+
+
+#: Gigabit Ethernet: 125 MB/s theoretical; realistic MAC/IP/TCP framing
+#: overhead lands effective goodput near the paper's ≈107 MB/s.
+GIGE_PROFILE = NicProfile(
+    name="gige",
+    link=LinkConfig(
+        bandwidth_mb_s=125.0,
+        latency_us=30.0,
+        per_message_overhead_bytes=2500,  # per ~32KB segment train of frames
+        chunk_bytes=32 * 1024,
+    ),
+    cpu_passes_tx=2.0,
+    cpu_passes_rx=3.0,
+    per_segment_cpu_us=4.0,
+)
+
+#: IPoIB on the SDR/DDR HCA: the wire is fast, but 2007-era IPoIB had a
+#: ~2 KB MTU, no checksum/segmentation offload and per-packet interrupts
+#: — every byte takes the full copy+checksum path on both hosts plus
+#: hefty per-segment protocol work.  That host cost, not the link, is
+#: what pins NFS/IPoIB near 330-360 MB/s in Fig 10.
+IPOIB_PROFILE = NicProfile(
+    name="ipoib",
+    link=LinkConfig(
+        bandwidth_mb_s=950.0,
+        latency_us=15.0,
+        per_message_overhead_bytes=512,
+        chunk_bytes=32 * 1024,
+    ),
+    cpu_passes_tx=4.0,
+    cpu_passes_rx=5.0,
+    per_segment_cpu_us=16.0,
+    segment_bytes=8 * 1024,
+)

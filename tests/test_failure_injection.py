@@ -1,0 +1,187 @@
+"""Failure injection: QP death, reconnection, pool exhaustion under load."""
+
+import pytest
+
+from repro.core.base import TransportError
+from repro.core.strategies import FmrStrategy
+from repro.experiments import Cluster, ClusterConfig
+from repro.ib.verbs import QPError
+from repro.nfs import NfsError
+
+
+def test_qp_error_fails_inflight_calls():
+    c = Cluster(ClusterConfig(transport="rdma-rw"))
+    nfs = c.mounts[0].nfs
+    outcomes = []
+
+    def victim():
+        try:
+            fh, _ = yield from nfs.create(nfs.root, "doomed")
+            yield from nfs.write(fh, 0, bytes(256 * 1024))
+            outcomes.append("ok")
+        except (TransportError, QPError):
+            outcomes.append("failed")
+
+    def killer():
+        yield c.sim.timeout(50.0)  # mid-flight
+        c.mounts[0].transport.qp.enter_error("injected fault")
+        c.server_transports[0].qp.enter_error("injected fault (remote)")
+
+    c.sim.process(victim())
+    c.sim.process(killer())
+    c.sim.run(until=c.sim.now + 5_000_000.0)
+    assert outcomes == ["failed"]
+
+
+def test_new_calls_rejected_after_failure():
+    c = Cluster(ClusterConfig(transport="rdma-rw"))
+    nfs = c.mounts[0].nfs
+
+    def warm():
+        fh, _ = yield from nfs.create(nfs.root, "pre")
+        return fh
+
+    fh = c.run(warm())
+    c.mounts[0].transport.qp.enter_error("injected")
+    c.mounts[0].transport.failed = True
+
+    def after():
+        try:
+            yield from nfs.getattr(fh)
+        except (TransportError, QPError):
+            return "rejected"
+        return "unexpected"
+
+    assert c.run(after()) == "rejected"
+
+
+def test_reconnect_resumes_service_with_same_handles():
+    c = Cluster(ClusterConfig(transport="rdma-rw"))
+    nfs = c.mounts[0].nfs
+
+    def before():
+        fh, _ = yield from nfs.create(nfs.root, "durable")
+        yield from nfs.write(fh, 0, b"survives reconnect")
+        return fh
+
+    fh = c.run(before())
+    # Kill the connection.
+    c.mounts[0].transport.qp.enter_error("injected")
+    c.mounts[0].transport.failed = True
+    # Reconnect: fresh QP + transport; handles remain valid.
+    mount = c.reconnect_client(0)
+
+    def after():
+        data, _, _ = yield from mount.nfs.read(fh, 0, 100)
+        return data
+
+    assert c.run(after()) == b"survives reconnect"
+
+
+def test_reconnect_reclaims_withheld_rr_buffers():
+    """Dropping a DONE-withholding client frees its pinned windows."""
+    from repro.nfs import NfsClient
+    from repro.core.readread import ReadReadServer
+    from repro.security import DoneWithholdingClient
+
+    c = Cluster(ClusterConfig(transport="rdma-rr"))
+    mount = c.mounts[0]
+    qc, qs = c.fabric.connect(mount.node, c.server_node)
+    evil = DoneWithholdingClient(mount.node, qc, c.config.profile.rpcrdma,
+                                 mount.transport.strategy)
+    server = ReadReadServer(c.server_node, qs, c.config.profile.rpcrdma,
+                            c.server_strategy)
+    server.attach(c.rpc_server)
+    evil.peer_ready = server.ready
+    nfs = NfsClient(evil, c.nfs_server.root_handle())
+
+    def attack():
+        fh, _ = yield from nfs.create(nfs.root, "bait")
+        yield from nfs.write(fh, 0, bytes(512 * 1024))
+        for i in range(4):
+            yield from nfs.read(fh, i * 128 * 1024, 128 * 1024)
+
+    c.run(attack())
+    assert server.pending_done_count == 4
+    c.run(server.disconnect())
+    assert server.pending_done_count == 0
+    assert c.server_node.hca.tpt.remotely_exposed() == []
+
+
+def test_fmr_pool_exhaustion_falls_back_not_fails():
+    """A tiny FMR pool under concurrency silently falls back to dynamic
+    registration (the paper's transparent fallback path)."""
+    c = Cluster(ClusterConfig(transport="rdma-rw", strategy="fmr"))
+    # Shrink the server pool drastically after construction.
+    small = FmrStrategy(c.server_node, pool_size=2)
+    for st in c.server_transports:
+        st.strategy = small
+    c.server_strategy = small
+    nfs = c.mounts[0].nfs
+    done = []
+
+    def op(i):
+        fh, _ = yield from nfs.create(nfs.root, f"f{i}")
+        yield from nfs.write(fh, 0, bytes(128 * 1024))
+        data, _, _ = yield from nfs.read(fh, 0, 128 * 1024)
+        done.append(len(data))
+
+    for i in range(8):
+        c.sim.process(op(i))
+    c.sim.run(until=c.sim.now + 60_000_000.0)
+    assert done == [128 * 1024] * 8
+    assert small._fallback.acquires.events > 0  # fallback actually used
+
+
+def test_rnr_storm_recovers_without_data_loss():
+    """Posting far more sends than posted receives triggers RNR retries
+    but the credit machinery keeps everything delivered eventually."""
+    from repro.core.config import RpcRdmaConfig
+    from dataclasses import replace
+    from repro.analysis import SOLARIS_SDR
+
+    profile = replace(SOLARIS_SDR, rpcrdma=RpcRdmaConfig(credits=2))
+    c = Cluster(ClusterConfig(transport="rdma-rw", profile=profile))
+    nfs = c.mounts[0].nfs
+    done = []
+
+    def op(i):
+        fh, _ = yield from nfs.create(nfs.root, f"n{i}")
+        done.append(i)
+
+    for i in range(20):
+        c.sim.process(op(i))
+    c.sim.run(until=c.sim.now + 60_000_000.0)
+    assert sorted(done) == list(range(20))
+    assert c.mounts[0].transport.credits.outstanding_peak <= 2
+
+
+def test_reconnect_tcp_transport():
+    c = Cluster(ClusterConfig(transport="tcp-gige"))
+    nfs = c.mounts[0].nfs
+
+    def before():
+        fh, _ = yield from nfs.create(nfs.root, "t")
+        yield from nfs.write(fh, 0, b"tcp data")
+        return fh
+
+    fh = c.run(before())
+    mount = c.reconnect_client(0)
+
+    def after():
+        data, _, _ = yield from mount.nfs.read(fh, 0, 10)
+        return data
+
+    assert c.run(after()) == b"tcp data"
+
+
+def test_experiment_runners_smoke():
+    """The fast experiment runners produce well-formed rows."""
+    from repro.experiments.figures import run_security_audit, run_table1
+
+    t1 = run_table1()
+    assert len(t1.rows) == 2
+    assert t1.headers[0] == "primitive"
+    audit = run_security_audit()
+    designs = [row[0] for row in audit.rows]
+    assert designs == ["rdma-rr", "rdma-rw"]

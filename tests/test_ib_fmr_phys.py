@@ -1,0 +1,199 @@
+"""Unit tests for FMR pools and the all-physical (global stag) mode."""
+
+import pytest
+
+from repro.ib.fmr import FMRExhausted, FMRPool, FMRTooLarge
+from repro.ib.memory import (
+    PAGE_SIZE,
+    AccessFlags,
+    MemoryArena,
+    ProtectionError,
+    RegistrationCosts,
+    TranslationProtectionTable,
+)
+from repro.ib.phys import GLOBAL_STAG, PhysicalAccessMap
+from repro.osmodel import CPU, CPUConfig
+from repro.sim import DeterministicRNG, Simulator
+
+
+def make_env(costs=None):
+    sim = Simulator()
+    cpu = CPU(sim, CPUConfig(cores=2))
+    tpt = TranslationProtectionTable(
+        sim, cpu, costs or RegistrationCosts(), DeterministicRNG(11, "f")
+    )
+    return sim, cpu, tpt, MemoryArena()
+
+
+# ---------------------------------------------------------------- FMR
+def test_fmr_map_produces_usable_mr():
+    sim, cpu, tpt, arena = make_env()
+    pool = FMRPool(tpt, pool_size=4)
+    buf = arena.alloc(PAGE_SIZE)
+
+    def proc():
+        mr = yield from pool.map(buf, AccessFlags.REMOTE_WRITE)
+        return mr
+
+    mr = sim.run_until_complete(sim.process(proc()))
+    assert mr.is_fmr and mr.valid
+    assert tpt.lookup(mr.stag, mr.addr, 1, AccessFlags.REMOTE_WRITE) is mr
+
+
+def test_fmr_map_cheaper_than_register():
+    costs = RegistrationCosts(
+        pin_cpu_per_page_us=0.0,
+        reg_tpt_base_us=10.0, reg_tpt_per_page_us=8.0,
+        fmr_map_base_us=2.0, fmr_map_per_page_us=3.0,
+    )
+    sim, cpu, tpt, arena = make_env(costs)
+    pool = FMRPool(tpt, pool_size=4)
+    buf = arena.alloc(4 * PAGE_SIZE)
+
+    def proc():
+        t0 = sim.now
+        yield from pool.map(buf, AccessFlags.REMOTE_WRITE)
+        fmr_cost = sim.now - t0
+        t0 = sim.now
+        yield from tpt.register(arena.alloc(4 * PAGE_SIZE), AccessFlags.REMOTE_WRITE)
+        reg_cost = sim.now - t0
+        return fmr_cost, reg_cost
+
+    fmr_cost, reg_cost = sim.run_until_complete(sim.process(proc()))
+    assert fmr_cost == pytest.approx(2.0 + 4 * 3.0)
+    assert reg_cost == pytest.approx(10.0 + 4 * 8.0)
+    assert fmr_cost < reg_cost
+
+
+def test_fmr_unmap_returns_stag_to_pool():
+    sim, cpu, tpt, arena = make_env()
+    pool = FMRPool(tpt, pool_size=1)
+    buf = arena.alloc(PAGE_SIZE)
+
+    def proc():
+        mr = yield from pool.map(buf, AccessFlags.REMOTE_READ)
+        stag = mr.stag
+        yield from pool.unmap(mr)
+        mr2 = yield from pool.map(buf, AccessFlags.REMOTE_READ)
+        return stag, mr2
+
+    stag, mr2 = sim.run_until_complete(sim.process(proc()))
+    assert mr2.stag == stag  # same pre-allocated entry recycled
+    assert pool.available == 0
+
+
+def test_fmr_stale_stag_rejected_after_unmap():
+    sim, cpu, tpt, arena = make_env()
+    pool = FMRPool(tpt, pool_size=2)
+    buf = arena.alloc(PAGE_SIZE)
+
+    def proc():
+        mr = yield from pool.map(buf, AccessFlags.REMOTE_READ)
+        yield from pool.unmap(mr)
+        return mr
+
+    mr = sim.run_until_complete(sim.process(proc()))
+    with pytest.raises(ProtectionError):
+        tpt.lookup(mr.stag, mr.addr, 1, AccessFlags.REMOTE_READ)
+
+
+def test_fmr_pool_exhaustion():
+    sim, cpu, tpt, arena = make_env()
+    pool = FMRPool(tpt, pool_size=1)
+
+    def proc():
+        yield from pool.map(arena.alloc(PAGE_SIZE), AccessFlags.REMOTE_READ)
+        try:
+            yield from pool.map(arena.alloc(PAGE_SIZE), AccessFlags.REMOTE_READ)
+        except FMRExhausted:
+            return "exhausted"
+        return "unexpected"
+
+    assert sim.run_until_complete(sim.process(proc())) == "exhausted"
+
+
+def test_fmr_too_large_falls_back():
+    sim, cpu, tpt, arena = make_env()
+    pool = FMRPool(tpt, pool_size=4, max_bytes=64 * 1024)
+    big = arena.alloc(128 * 1024)
+
+    def proc():
+        try:
+            yield from pool.map(big, AccessFlags.REMOTE_READ)
+        except FMRTooLarge:
+            return "too-large"
+        return "unexpected"
+
+    assert sim.run_until_complete(sim.process(proc())) == "too-large"
+    assert pool.fallbacks.events == 1
+
+
+def test_fmr_validation():
+    sim, cpu, tpt, arena = make_env()
+    with pytest.raises(ValueError):
+        FMRPool(tpt, pool_size=0)
+    with pytest.raises(ValueError):
+        FMRPool(tpt, pool_size=1, max_bytes=0)
+
+
+# ---------------------------------------------------------------- physical
+def test_phys_disabled_rejects_global_stag():
+    arena = MemoryArena()
+    phys = PhysicalAccessMap(arena, DeterministicRNG(3, "p"), enabled=False)
+    buf = arena.alloc(PAGE_SIZE)
+    with pytest.raises(ProtectionError):
+        phys.resolve(buf.addr, 10)
+    assert phys.rejections.events == 1
+
+
+def test_phys_enabled_resolves():
+    arena = MemoryArena()
+    phys = PhysicalAccessMap(arena, DeterministicRNG(3, "p"), enabled=True)
+    buf = arena.alloc(PAGE_SIZE)
+    found, off = phys.resolve(buf.addr + 8, 10)
+    assert found is buf and off == 8
+    assert phys.accesses.events == 1
+
+
+def test_phys_enabled_still_bounds_checks():
+    arena = MemoryArena()
+    phys = PhysicalAccessMap(arena, DeterministicRNG(3, "p"), enabled=True)
+    buf = arena.alloc(PAGE_SIZE)
+    with pytest.raises(ProtectionError):
+        phys.resolve(buf.addr + PAGE_SIZE + 100, 10)
+
+
+def test_chunk_runs_cover_range_exactly():
+    arena = MemoryArena()
+    phys = PhysicalAccessMap(
+        arena, DeterministicRNG(3, "p"), enabled=True, mean_contig_run_bytes=16 * 1024
+    )
+    runs = list(phys.chunk_runs(0x1000_0000, 128 * 1024))
+    assert sum(length for _, length in runs) == 128 * 1024
+    assert runs[0][0] == 0x1000_0000
+    for (a1, l1), (a2, _) in zip(runs, runs[1:]):
+        assert a1 + l1 == a2  # contiguous virtual coverage
+    assert len(runs) > 1  # 128 KB fragments into multiple physical runs
+
+
+def test_chunk_runs_deterministic():
+    arena = MemoryArena()
+    phys = PhysicalAccessMap(arena, DeterministicRNG(3, "p"), enabled=True)
+    a = list(phys.chunk_runs(0x2000, 64 * 1024))
+    b = list(phys.chunk_runs(0x2000, 64 * 1024))
+    assert a == b
+
+
+def test_chunk_runs_more_fragments_than_virtual():
+    """All-physical mode yields more chunks than one virtually-contiguous
+    segment — the mechanism behind Fig 9b's write degradation."""
+    arena = MemoryArena()
+    phys = PhysicalAccessMap(
+        arena, DeterministicRNG(3, "p"), enabled=True, mean_contig_run_bytes=8 * 1024
+    )
+    runs = list(phys.chunk_runs(0, 256 * 1024))
+    assert len(runs) >= 8
+
+
+def test_global_stag_constant():
+    assert GLOBAL_STAG == 0xFFFF_FFFF

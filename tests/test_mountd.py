@@ -1,0 +1,159 @@
+"""Tests for the MOUNT protocol, portmapper and large-I/O splitting."""
+
+import pytest
+
+from repro.experiments import Cluster, ClusterConfig
+from repro.nfs import Export, MountClient, MountServer, Portmapper
+from repro.nfs.mountd import MOUNT_PROG, MOUNT_VERS, MountError, PMAP_PROG
+
+
+def make(exports=None, nclients=1):
+    c = Cluster(ClusterConfig(transport="rdma-rw", nclients=nclients))
+    exports = exports if exports is not None else [Export("/")]
+    pmap = Portmapper(c.rpc_server)
+    pmap.set(MOUNT_PROG, MOUNT_VERS, 20048)
+    mountd = MountServer(c.rpc_server, c.fs, exports)
+    clients = [MountClient(m.transport, f"client{i}")
+               for i, m in enumerate(c.mounts)]
+    return c, mountd, pmap, clients
+
+
+def test_portmapper_getport():
+    c, mountd, pmap, (mc,) = make()
+
+    def proc():
+        return (yield from mc.getport(MOUNT_PROG, MOUNT_VERS))
+
+    assert c.run(proc()) == 20048
+    assert pmap.lookups.events == 1
+
+
+def test_portmapper_unknown_program_is_zero():
+    c, mountd, pmap, (mc,) = make()
+
+    def proc():
+        return (yield from mc.getport(424242, 1))
+
+    assert c.run(proc()) == 0
+
+
+def test_mount_root_export_and_use_handle():
+    c, mountd, pmap, (mc,) = make()
+    nfs = c.mounts[0].nfs
+
+    def proc():
+        root_fh = yield from mc.mount("/")
+        # The mounted handle is live: create a file under it.
+        fh, _ = yield from nfs.create(root_fh, "via-mount")
+        yield from nfs.write(fh, 0, b"mounted!")
+        data, _, _ = yield from nfs.read(fh, 0, 10)
+        return root_fh, data
+
+    root_fh, data = c.run(proc())
+    assert root_fh == c.nfs_server.root_handle()
+    assert data == b"mounted!"
+    assert mountd.grants.events == 1
+
+
+def test_mount_subdirectory_export():
+    c, mountd, pmap, (mc,) = make(exports=[Export("/"), Export("/homes")])
+    nfs = c.mounts[0].nfs
+
+    def proc():
+        d, _ = yield from nfs.mkdir(nfs.root, "homes")
+        sub_fh = yield from mc.mount("/homes")
+        assert sub_fh.fileid == d.fileid
+        return sub_fh
+
+    c.run(proc())
+
+
+def test_mount_unknown_export_rejected():
+    c, mountd, pmap, (mc,) = make(exports=[Export("/data")])
+
+    def proc():
+        try:
+            yield from mc.mount("/secret")
+        except MountError as exc:
+            return exc.status
+        return None
+
+    assert c.run(proc()) == 2  # MNT3ERR_NOENT
+    assert mountd.rejections.events == 1
+
+
+def test_mount_client_allow_list_enforced():
+    c, mountd, pmap, clients = make(
+        exports=[Export("/", allowed_clients=frozenset({"client0"}))],
+        nclients=2,
+    )
+    mc0, mc1 = clients
+
+    def allowed():
+        return (yield from mc0.mount("/"))
+
+    def denied():
+        try:
+            yield from mc1.mount("/")
+        except MountError as exc:
+            return exc.status
+        return None
+
+    assert c.run(allowed()) is not None
+    assert c.run(denied()) == 13  # MNT3ERR_ACCES
+
+
+def test_mount_dump_and_unmount():
+    c, mountd, pmap, (mc,) = make()
+
+    def proc():
+        yield from mc.mount("/")
+        assert ("client0", "/") in mountd.mounts
+        yield from mc.unmount("/")
+
+    c.run(proc())
+    assert mountd.mounts == {}
+
+
+def test_list_exports():
+    c, mountd, pmap, (mc,) = make(exports=[Export("/"), Export("/scratch")])
+
+    def proc():
+        return (yield from mc.list_exports())
+
+    assert c.run(proc()) == ["/", "/scratch"]
+
+
+# ---------------------------------------------------------------- large I/O
+def test_read_write_large_split_at_limit():
+    c = Cluster(ClusterConfig(transport="rdma-rw"))
+    nfs = c.mounts[0].nfs
+    blob = bytes(i % 249 for i in range(700_000))
+
+    def proc():
+        fh, _ = yield from nfs.create(nfs.root, "big")
+        info = yield from nfs.fsinfo()
+        before = nfs.ops.events
+        yield from nfs.write_large(fh, 0, blob, limit=256 * 1024)
+        writes = nfs.ops.events - before
+        data, eof = yield from nfs.read_large(fh, 0, len(blob), limit=256 * 1024)
+        return info, writes, data, eof
+
+    info, writes, data, eof = c.run(proc())
+    assert info.rtmax == 1 << 20
+    assert writes == 3  # ceil(700000 / 262144)
+    assert data == blob and eof
+
+
+def test_large_io_validation():
+    c = Cluster(ClusterConfig(transport="rdma-rw"))
+    nfs = c.mounts[0].nfs
+
+    def proc():
+        fh, _ = yield from nfs.create(nfs.root, "f")
+        with pytest.raises(ValueError):
+            yield from nfs.read_large(fh, 0, 10, limit=0)
+        with pytest.raises(ValueError):
+            yield from nfs.write_large(fh, 0, b"x", limit=0)
+
+    c.run(proc())

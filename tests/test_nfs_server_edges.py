@@ -1,0 +1,129 @@
+"""NFS server edge cases: stale handles, bad procs, malformed args."""
+
+import pytest
+
+from repro.experiments import Cluster, ClusterConfig
+from repro.nfs import FileHandle, NfsError
+from repro.nfs.protocol import Nfs3Proc, Nfs3Status
+from repro.rpc.msg import RpcCall
+from repro.rpc.xdr import XdrEncoder
+
+
+def make():
+    c = Cluster(ClusterConfig(transport="rdma-rw"))
+    return c, c.mounts[0].nfs
+
+
+def test_foreign_fsid_is_stale():
+    c, nfs = make()
+    alien = FileHandle(fsid=999, fileid=1)
+
+    def proc():
+        try:
+            yield from nfs.getattr(alien)
+        except NfsError as exc:
+            return exc.status
+        return None
+
+    assert c.run(proc()) is Nfs3Status.STALE
+
+
+def test_unknown_procedure_serverfault():
+    c, nfs = make()
+
+    def proc():
+        enc = XdrEncoder()
+        nfs.root.encode(enc)
+        call = RpcCall(prog=100003, vers=3, proc=99, header=enc.take())
+        reply = yield from nfs.transport.call(call)
+        return reply
+
+    reply = c.run(proc())
+    from repro.rpc.xdr import XdrDecoder
+
+    assert XdrDecoder(reply.header).u32() == int(Nfs3Status.SERVERFAULT)
+
+
+def test_malformed_args_inval():
+    c, nfs = make()
+
+    def proc():
+        call = RpcCall(prog=100003, vers=3, proc=int(Nfs3Proc.GETATTR),
+                       header=b"\x00\x00")  # truncated file handle
+        reply = yield from nfs.transport.call(call)
+        return reply
+
+    reply = c.run(proc())
+    from repro.rpc.xdr import XdrDecoder
+
+    assert XdrDecoder(reply.header).u32() == int(Nfs3Status.INVAL)
+
+
+def test_write_count_payload_mismatch_rejected():
+    c, nfs = make()
+
+    def proc():
+        fh, _ = yield from nfs.create(nfs.root, "f")
+        enc = XdrEncoder()
+        fh.encode(enc)
+        enc.u64(0)
+        enc.u32(500)   # claims 500 bytes
+        enc.u32(0)
+        call = RpcCall(prog=100003, vers=3, proc=int(Nfs3Proc.WRITE),
+                       header=enc.take(), write_payload=b"only-14-bytes!")
+        reply = yield from nfs.transport.call(call)
+        return reply
+
+    reply = c.run(proc())
+    from repro.rpc.xdr import XdrDecoder
+
+    assert XdrDecoder(reply.header).u32() == int(Nfs3Status.INVAL)
+
+
+def test_read_of_empty_file_is_eof():
+    c, nfs = make()
+
+    def proc():
+        fh, _ = yield from nfs.create(nfs.root, "empty")
+        data, eof, attrs = yield from nfs.read(fh, 0, 4096)
+        return data, eof, attrs.size
+
+    data, eof, size = c.run(proc())
+    assert data == b"" and eof and size == 0
+
+
+def test_read_past_eof_returns_short():
+    c, nfs = make()
+
+    def proc():
+        fh, _ = yield from nfs.create(nfs.root, "short")
+        yield from nfs.write(fh, 0, b"0123456789")
+        data, eof, _ = yield from nfs.read(fh, 8, 4096)
+        return data, eof
+
+    data, eof = c.run(proc())
+    assert data == b"89" and eof
+
+
+def test_readdir_empty_directory():
+    c, nfs = make()
+
+    def proc():
+        d, _ = yield from nfs.mkdir(nfs.root, "void")
+        return (yield from nfs.readdir(d))
+
+    assert c.run(proc()) == []
+
+
+def test_error_counter_increments():
+    c, nfs = make()
+
+    def proc():
+        for _ in range(3):
+            try:
+                yield from nfs.lookup(nfs.root, "ghost")
+            except NfsError:
+                pass
+
+    c.run(proc())
+    assert c.nfs_server.errors.events == 3

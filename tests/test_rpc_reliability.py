@@ -1,0 +1,168 @@
+"""Retransmission + duplicate request cache: exactly-once under loss."""
+
+import pytest
+
+from repro.osmodel import CPU, CPUConfig, InterruptController
+from repro.rpc import RpcCall, RpcReply, RpcServer, TcpRpcClient, TcpRpcServerTransport
+from repro.rpc.drc import DrcDecision, DuplicateRequestCache
+from repro.rpc.transport import RpcTimeout
+from repro.sim import Simulator
+from repro.tcpip import IPOIB_PROFILE, TcpConnection, TcpEndpoint
+
+PROG, VERS = 100003, 3
+
+
+def rig(retrans_timeout_us=50_000.0, max_retries=4, drc=None, handler_delay=5.0):
+    sim = Simulator()
+    eps = []
+    for name in ("client", "server"):
+        cpu = CPU(sim, CPUConfig(cores=2), name=f"{name}.cpu")
+        irq = InterruptController(sim, cpu, name=f"{name}.irq")
+        eps.append(TcpEndpoint(sim, cpu, irq, IPOIB_PROFILE, name=name))
+    conn = TcpConnection(eps[0], eps[1])
+    client = TcpRpcClient(eps[0], conn, retrans_timeout_us=retrans_timeout_us,
+                          max_retries=max_retries)
+    server_transport = TcpRpcServerTransport(eps[1], conn)
+    rpc_server = RpcServer(sim, eps[1].cpu, nthreads=4, drc=drc)
+    executions = []
+
+    def handler(call):
+        executions.append(call.xid)
+        yield sim.timeout(handler_delay)
+        return RpcReply(xid=call.xid, header=b"OK" + call.header[:2])
+
+    rpc_server.register_program(PROG, VERS, handler)
+    server_transport.attach(rpc_server)
+    return sim, client, server_transport, rpc_server, executions
+
+
+# ---------------------------------------------------------------- DRC unit
+def test_drc_lifecycle():
+    drc = DuplicateRequestCache(max_entries=8)
+    assert drc.check(1, PROG, 0)[0] is DrcDecision.NEW
+    drc.begin(1, PROG, 0)
+    assert drc.check(1, PROG, 0)[0] is DrcDecision.IN_PROGRESS
+    reply = RpcReply(xid=1, header=b"done")
+    drc.complete(1, PROG, 0, reply)
+    decision, cached = drc.check(1, PROG, 0)
+    assert decision is DrcDecision.REPLAY
+    assert cached is reply
+
+
+def test_drc_distinguishes_procs():
+    drc = DuplicateRequestCache()
+    drc.begin(1, PROG, 6)
+    assert drc.check(1, PROG, 7)[0] is DrcDecision.NEW
+
+
+def test_drc_lru_horizon():
+    drc = DuplicateRequestCache(max_entries=2)
+    for xid in (1, 2, 3):
+        drc.begin(xid, PROG, 0)
+    # xid 1 aged out: a very late retransmit would re-execute.
+    assert drc.check(1, PROG, 0)[0] is DrcDecision.NEW
+    assert drc.check(3, PROG, 0)[0] is DrcDecision.IN_PROGRESS
+
+
+def test_drc_validation():
+    with pytest.raises(ValueError):
+        DuplicateRequestCache(max_entries=0)
+
+
+# ---------------------------------------------------------------- end to end
+def test_no_loss_no_retransmission():
+    sim, client, st, rs, executions = rig()
+
+    def proc():
+        reply = yield from client.call(RpcCall(prog=PROG, vers=VERS, proc=0,
+                                               header=b"hi"))
+        return reply
+
+    reply = sim.run_until_complete(sim.process(proc()))
+    assert reply.header[:2] == b"OK"
+    assert client.retransmissions.events == 0
+
+
+def test_lost_reply_recovered_by_retransmission():
+    drc = DuplicateRequestCache()
+    sim, client, st, rs, executions = rig(drc=drc)
+    st.drop_next_replies = 1  # first reply vanishes
+
+    def proc():
+        reply = yield from client.call(RpcCall(prog=PROG, vers=VERS, proc=8,
+                                               header=b"cr"))
+        return reply
+
+    reply = sim.run_until_complete(sim.process(proc()))
+    assert reply.header[:2] == b"OK"
+    assert client.retransmissions.events == 1
+    assert st.replies_dropped.events == 1
+    # The DRC replayed; the handler ran exactly once (exactly-once!).
+    assert len(executions) == 1
+    assert drc.replays.events == 1
+
+
+def test_multiple_losses_with_backoff():
+    drc = DuplicateRequestCache()
+    sim, client, st, rs, executions = rig(drc=drc, max_retries=5)
+    st.drop_next_replies = 3
+
+    def proc():
+        reply = yield from client.call(RpcCall(prog=PROG, vers=VERS, proc=8,
+                                               header=b"zz"))
+        return reply
+
+    reply = sim.run_until_complete(sim.process(proc()))
+    assert reply.header[:2] == b"OK"
+    assert client.retransmissions.events == 3
+    assert len(executions) == 1
+
+
+def test_slow_handler_duplicate_dropped_not_reexecuted():
+    """Retransmit while the original is still executing: the duplicate
+    must neither re-execute nor produce a second reply."""
+    drc = DuplicateRequestCache()
+    sim, client, st, rs, executions = rig(
+        drc=drc, retrans_timeout_us=10_000.0, handler_delay=25_000.0
+    )
+
+    def proc():
+        reply = yield from client.call(RpcCall(prog=PROG, vers=VERS, proc=8,
+                                               header=b"sl"))
+        return reply
+
+    reply = sim.run_until_complete(sim.process(proc()))
+    assert reply.header[:2] == b"OK"
+    assert client.retransmissions.events >= 1
+    assert len(executions) == 1
+    assert drc.drops.events >= 1
+
+
+def test_exhausted_retries_raise_timeout():
+    drc = DuplicateRequestCache()
+    sim, client, st, rs, executions = rig(drc=drc, max_retries=2)
+    st.drop_next_replies = 10  # everything vanishes
+
+    def proc():
+        try:
+            yield from client.call(RpcCall(prog=PROG, vers=VERS, proc=8,
+                                           header=b"xx"))
+        except RpcTimeout:
+            return "timed-out"
+        return "unexpected"
+
+    assert sim.run_until_complete(sim.process(proc())) == "timed-out"
+
+
+def test_without_drc_retransmission_reexecutes():
+    """The hazard the DRC exists to prevent, demonstrated."""
+    sim, client, st, rs, executions = rig(drc=None)
+    st.drop_next_replies = 1
+
+    def proc():
+        reply = yield from client.call(RpcCall(prog=PROG, vers=VERS, proc=8,
+                                               header=b"cr"))
+        return reply
+
+    sim.run_until_complete(sim.process(proc()))
+    assert len(executions) == 2  # re-executed: not exactly-once

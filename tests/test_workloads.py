@@ -1,0 +1,137 @@
+"""Tests for the IOzone and FileBench OLTP workload generators."""
+
+import pytest
+
+from repro.experiments import Cluster, ClusterConfig
+from repro.workloads import IozoneParams, OltpParams, run_iozone, run_oltp
+
+
+def test_iozone_params_record_math():
+    p = IozoneParams(record_bytes=128 * 1024, file_bytes=1 << 20, ops_per_thread=None)
+    assert p.records_per_thread() == 8
+    p2 = IozoneParams(record_bytes=128 * 1024, file_bytes=1 << 30, ops_per_thread=16)
+    assert p2.records_per_thread() == 16
+    assert len(p.record_payload()) == 128 * 1024
+
+
+def test_iozone_produces_positive_bandwidth():
+    c = Cluster(ClusterConfig(transport="rdma-rw"))
+    r = run_iozone(c, IozoneParams(nthreads=2, ops_per_thread=10))
+    assert r.read_mb_s > 0 and r.write_mb_s > 0
+    assert r.bytes_per_phase == 2 * 10 * 128 * 1024
+    assert 0 <= r.client_cpu_read <= 1
+
+
+def test_iozone_more_threads_more_throughput():
+    results = {}
+    for threads in (1, 4):
+        c = Cluster(ClusterConfig(transport="rdma-rw"))
+        results[threads] = run_iozone(
+            c, IozoneParams(nthreads=threads, ops_per_thread=20)
+        ).read_mb_s
+    assert results[4] > 1.5 * results[1]
+
+
+def test_iozone_verifies_read_lengths():
+    # The workload asserts full-size reads; a run completing is a data check.
+    c = Cluster(ClusterConfig(transport="rdma-rr"))
+    r = run_iozone(c, IozoneParams(nthreads=1, ops_per_thread=5,
+                                   record_bytes=64 * 1024))
+    assert r.read_mb_s > 0
+
+
+def test_iozone_multi_client_aggregates():
+    c = Cluster(ClusterConfig(transport="rdma-rw", nclients=3))
+    r = run_iozone(c, IozoneParams(nthreads=1, ops_per_thread=10))
+    assert r.bytes_per_phase == 3 * 10 * 128 * 1024
+
+
+def test_iozone_over_tcp():
+    c = Cluster(ClusterConfig(transport="tcp-gige"))
+    r = run_iozone(c, IozoneParams(nthreads=1, ops_per_thread=8))
+    assert 0 < r.read_mb_s < 125.0  # can't beat the GigE wire
+
+
+def test_oltp_runs_and_counts_ops():
+    c = Cluster(ClusterConfig(transport="rdma-rw", strategy="cache"))
+    params = OltpParams(readers=4, writers=2, log_writers=1,
+                        datafile_bytes=4 << 20, ops_per_thread=5)
+    r = run_oltp(c, params)
+    assert r.ops_total == (4 + 2 + 1) * 5
+    assert r.ops_per_s > 0
+    assert r.client_cpu_us_per_op > 0
+    assert r.bytes_read > 0 and r.bytes_written > 0
+
+
+def test_oltp_deterministic_given_seed():
+    def once():
+        c = Cluster(ClusterConfig(transport="rdma-rw"))
+        return run_oltp(c, OltpParams(readers=3, writers=1, log_writers=1,
+                                      datafile_bytes=2 << 20, ops_per_thread=4))
+
+    a, b = once(), once()
+    assert a.elapsed_us == b.elapsed_us
+    assert a.bytes_read == b.bytes_read
+
+
+def test_oltp_cache_strategy_beats_dynamic():
+    """The Fig 8 claim: the registration cache lifts OLTP throughput."""
+    results = {}
+    for strategy in ("dynamic", "cache"):
+        c = Cluster(ClusterConfig(transport="rdma-rw", strategy=strategy))
+        r = run_oltp(c, OltpParams(readers=16, writers=4, log_writers=1,
+                                   datafile_bytes=8 << 20, ops_per_thread=6))
+        results[strategy] = r.ops_per_s
+    assert results["cache"] > 1.15 * results["dynamic"]
+
+
+# ---------------------------------------------------------------- postmark
+def test_postmark_runs_and_balances():
+    from repro.workloads import PostmarkParams, run_postmark
+
+    c = Cluster(ClusterConfig(transport="rdma-rw", strategy="cache"))
+    params = PostmarkParams(initial_files=20, transactions=80, nthreads=4)
+    r = run_postmark(c, params)
+    assert r.transactions == 80
+    assert r.txns_per_s > 0
+    assert r.bytes_written > 0
+    assert r.latency.count == 80
+    assert r.latency.p99 >= r.latency.p50
+
+
+def test_postmark_deterministic():
+    from repro.workloads import PostmarkParams, run_postmark
+
+    def once():
+        c = Cluster(ClusterConfig(transport="rdma-rw"))
+        return run_postmark(c, PostmarkParams(initial_files=10, transactions=40))
+
+    a, b = once(), once()
+    assert a.elapsed_us == b.elapsed_us
+    assert (a.created, a.deleted) == (b.created, b.deleted)
+
+
+def test_postmark_client_cache_helps_metadata():
+    from repro.workloads import PostmarkParams, run_postmark
+
+    results = {}
+    for cached in (False, True):
+        c = Cluster(ClusterConfig(transport="rdma-rw", strategy="cache"))
+        r = run_postmark(c, PostmarkParams(
+            initial_files=30, transactions=120, nthreads=4,
+            use_client_cache=cached, read_bias=0.8,
+        ))
+        results[cached] = r.txns_per_s
+    # Attribute-cache hits remove a GETATTR round trip from most data
+    # transactions.
+    assert results[True] > 1.1 * results[False]
+
+
+def test_postmark_over_all_transports():
+    from repro.workloads import PostmarkParams, run_postmark
+
+    for transport in ("rdma-rw", "rdma-rr", "tcp-gige"):
+        c = Cluster(ClusterConfig(transport=transport))
+        r = run_postmark(c, PostmarkParams(initial_files=8, transactions=32,
+                                           nthreads=2))
+        assert r.transactions == 32
