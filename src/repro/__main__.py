@@ -16,7 +16,7 @@ import argparse
 import sys
 
 from repro.analysis import LINUX_DDR_RAID, LINUX_SDR, SOLARIS_SDR
-from repro.experiments import Cluster, ClusterConfig, figures
+from repro.experiments import Cluster, ClusterConfig, chaos, figures
 from repro.experiments.cluster import STRATEGIES, TRANSPORTS
 from repro.workloads import (
     IozoneParams,
@@ -38,6 +38,7 @@ EXPERIMENTS = {
     "fig9": figures.run_fig9,
     "fig10": figures.run_fig10,
     "security": figures.run_security_audit,
+    "chaos": chaos.run_chaos_soak_table,
 }
 
 

@@ -42,8 +42,8 @@ from repro.ib.verbs import (
 )
 from repro.rpc.msg import RpcCall, RpcReply, frame_message, unframe_message
 from repro.rpc.svc import RpcServer
-from repro.rpc.transport import RpcClientTransport, RpcServerTransport
-from repro.sim import Counter, Event, Store
+from repro.rpc.transport import RpcClientTransport, RpcServerTransport, RpcTimeout
+from repro.sim import AnyOf, Counter, Event, Store
 
 __all__ = [
     "RpcRdmaClientBase",
@@ -157,10 +157,10 @@ class _RdmaEndpoint:
     ):
         self.node = node
         self.sim = node.sim
-        self.qp = qp
         self.config = config
         self.strategy = strategy
         self.name = name
+        self._bind_qp(qp)
         self.send_pool = _InlinePool(node, config.credits, config.inline_threshold,
                                      f"{name}.sendpool")
         self.recv_pool = _InlinePool(node, config.credits, config.inline_threshold,
@@ -175,12 +175,36 @@ class _RdmaEndpoint:
         self.peer_ready = None
         self.failed = False
 
+    # -- connection binding ------------------------------------------------
+    def _bind_qp(self, qp: QueuePair) -> None:
+        """Adopt ``qp`` as the current connection and watch it for death."""
+        self.qp = qp
+        qp.on_error.append(self._qp_error_callback)
+
+    def _qp_error_callback(self, qp: QueuePair, cause: str) -> None:
+        if qp is not self.qp:
+            return  # a previous incarnation dying late; already replaced
+        self.failed = True
+        self._on_connection_error(cause)
+
+    def _on_connection_error(self, cause: str) -> None:
+        """Subclass hook: synchronous reaction to connection death."""
+
     # -- setup ---------------------------------------------------------
     def _setup_pools(self) -> Generator:
         yield from self.send_pool.setup()
         yield from self.recv_pool.setup()
         for region in self.recv_pool.regions:
             self.repost_recv(region)
+
+    def _teardown_pools(self) -> Generator:
+        """Deregister and free both inline pools (connection teardown)."""
+        for pool in (self.send_pool, self.recv_pool):
+            for region in pool.regions:
+                if region.mr is not None:
+                    yield from self.node.hca.tpt.deregister(region.mr)
+                self.node.arena.free(region.buffer)
+            pool.regions.clear()
 
     # -- inline send -----------------------------------------------------
     def send_header(self, header: RpcRdmaHeader) -> Generator:
@@ -285,12 +309,52 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
         self._pending: dict[int, Event] = {}
         self._contexts: dict[int, dict] = {}
         self.calls_sent = Counter(f"{name}.calls")
+        #: recovery policy, installed by the wiring layer (e.g. Cluster):
+        #: a generator ``reconnector(client) -> (new_qp, peer_ready)``
+        #: that redials the server.  None = fail-fast (legacy behaviour).
+        self.reconnector = None
+        self.retransmissions = Counter(f"{name}.retrans")
+        self.reconnects = Counter(f"{name}.reconnects")
+        self.calls_recovered = Counter(f"{name}.recovered")
+        #: bumped on every successful reconnect so concurrent failed
+        #: calls can tell "connection already renewed" from "dead".
+        self._epoch = 0
+        self._reconnect_done: Optional[Event] = None
+        self._jitter_rng = node.rng.child(name, "backoff")
         self.ready = self.sim.process(self._setup_pools(), name=f"{name}.setup")
         self._recv_fifo: deque = deque()
         self.sim.process(self._receiver(), name=f"{name}.rx")
 
+    def _on_connection_error(self, cause: str) -> None:
+        # Prompt failure detection: wake every parked call immediately
+        # (the verbs async event) instead of waiting for flushed CQEs.
+        self._flush_waiters()
+
     # -- public API ---------------------------------------------------------
     def call(self, call: RpcCall) -> Generator:
+        """Issue one RPC; transparently retransmit and reconnect.
+
+        The xid is preserved across every resend and redial, so the
+        server's duplicate request cache guarantees at-most-once
+        execution while the retry loop guarantees at-least-once
+        delivery — together, exactly-once.
+        """
+        redials = 0
+        while True:
+            epoch = self._epoch
+            try:
+                return (yield from self._attempt_call(call))
+            except (TransportError, QPError, RpcTimeout):
+                if self.reconnector is None:
+                    raise
+                redials += 1
+                if redials > self.config.max_reconnects:
+                    raise
+                if self._epoch == epoch:
+                    yield from self._recover()
+                self.calls_recovered.add()
+
+    def _attempt_call(self, call: RpcCall) -> Generator:
         if not self.ready.processed:
             yield self.ready
         if self.peer_ready is not None and not self.peer_ready.processed:
@@ -307,7 +371,7 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
             self._pending[call.xid] = waiter
             yield from self.send_header(header)
             self.calls_sent.add()
-            reply_header: RpcRdmaHeader = yield waiter
+            reply_header: RpcRdmaHeader = yield from self._await_reply(call, header, waiter)
             reply = yield from self._handle_reply(reply_header, ctx)
             return reply
         finally:
@@ -316,6 +380,73 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
             for region in ctx["regions"]:
                 yield from self.strategy.release(region)
             self.credits.release(ctx.get("new_grant"))
+
+    def _await_reply(self, call: RpcCall, header: RpcRdmaHeader,
+                     waiter: Event) -> Generator:
+        """Wait for the reply; with a timeout configured, retransmit with
+        exponential backoff + jitter, reusing the xid and the already-
+        advertised chunks (the server replays into the same windows)."""
+        timeout_us = self.config.reply_timeout_us
+        if timeout_us is None:
+            # No timer configured: zero extra events on this path.
+            return (yield waiter)
+        for attempt in range(self.config.max_retransmits + 1):
+            yield AnyOf(self.sim, [waiter, self.sim.timeout(timeout_us)])
+            if waiter.triggered:
+                return waiter.value
+            if attempt >= self.config.max_retransmits:
+                break
+            self.retransmissions.add()
+            yield from self.node.cpu.consume(self.config.per_op_cpu_us)
+            yield from self.send_header(header)
+            timeout_us = min(timeout_us * self.config.backoff_factor,
+                             self.config.max_reply_timeout_us)
+            timeout_us *= 1.0 + self.config.backoff_jitter * self._jitter_rng.uniform(-1.0, 1.0)
+        raise RpcTimeout(
+            f"{self.name}: xid {call.xid:#x} unanswered after "
+            f"{self.config.max_retransmits} retransmissions"
+        )
+
+    def _recover(self) -> Generator:
+        """Redial the server: fresh QP, fresh pools, same credit ledger.
+
+        Serialized — the first failed call performs the reconnect while
+        the rest park on ``_reconnect_done`` and then retry.
+        """
+        if self._reconnect_done is not None:
+            yield self._reconnect_done
+            return
+        done = self._reconnect_done = Event(self.sim)
+        try:
+            backoff = self.config.reconnect_backoff_us
+            if backoff > 0:
+                backoff *= 1.0 + self.config.backoff_jitter * self._jitter_rng.uniform(-1.0, 1.0)
+                yield self.sim.timeout(backoff)
+            new_qp, peer_ready = yield from self.reconnector(self)
+            yield from self._teardown_pools()
+            self._bind_qp(new_qp)
+            self.peer_ready = peer_ready
+            self.failed = False
+            self.send_pool = _InlinePool(self.node, self.config.credits,
+                                         self.config.inline_threshold,
+                                         f"{self.name}.sendpool")
+            self.recv_pool = _InlinePool(self.node, self.config.credits,
+                                         self.config.inline_threshold,
+                                         f"{self.name}.recvpool")
+            self._posted = deque()
+            # Re-run the CM handshake: re-register buffers through the
+            # active strategy, pre-post receives, wait for the peer.
+            self.ready = self.sim.process(self._setup_pools(),
+                                          name=f"{self.name}.setup")
+            yield self.ready
+            if self.peer_ready is not None and not self.peer_ready.processed:
+                yield self.peer_ready
+            self.sim.process(self._receiver(), name=f"{self.name}.rx")
+            self._epoch += 1
+            self.reconnects.add()
+        finally:
+            self._reconnect_done = None
+            done.succeed()
 
     # -- call marshalling ---------------------------------------------------
     def _build_call(self, call: RpcCall, ctx: dict) -> Generator:
@@ -391,13 +522,18 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
     # -- receive path ---------------------------------------------------------
     def _receiver(self) -> Generator:
         yield self.ready
+        qp = self.qp
         while True:
+            if self.qp is not qp:
+                return  # superseded by a reconnect; the new receiver owns state
             if self.failed or not self._posted:
                 self.failed = True
                 self._flush_waiters()
                 return
             wr = self.next_recv()
             yield wr.completion
+            if self.qp is not qp:
+                return
             if not wr.cqe.ok:
                 self.failed = True
                 self._flush_waiters()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["RpcRdmaConfig"]
 
@@ -16,6 +17,13 @@ class RpcRdmaConfig:
     via chunks.  ``credits`` is the flow-control field's grant — also
     the number of pre-posted receive buffers per connection and the cap
     on a client's outstanding calls.
+
+    The resilience knobs govern the client's recovery state machine.
+    ``reply_timeout_us = None`` (the default) disables the retransmit
+    timer entirely — no timer events are scheduled, so a fault-free run
+    is event-for-event identical to a transport without the recovery
+    layer.  Reconnection on a dead QP works even without timers because
+    flushed work requests wake the waiting calls.
     """
 
     inline_threshold: int = 1024
@@ -25,6 +33,14 @@ class RpcRdmaConfig:
     bounce_buffer_bytes: int = 1 << 20
     per_op_cpu_us: float = 3.0                 # transport bookkeeping per op/side
     done_handler_cpu_us: float = 2.0           # Read-Read server DONE processing
+    #: per-call reply timeout; None = no retransmit timer (zero events).
+    reply_timeout_us: Optional[float] = None
+    max_retransmits: int = 6                   # per connection attempt
+    max_reply_timeout_us: float = 2_000_000.0  # backoff ceiling
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1                # ± fraction of each delay
+    max_reconnects: int = 4                    # redials per call before giving up
+    reconnect_backoff_us: float = 1_000.0      # base delay before redialing
 
     def __post_init__(self):
         if self.inline_threshold < 256:
@@ -35,3 +51,11 @@ class RpcRdmaConfig:
             raise ValueError("max transfer below inline threshold")
         if self.bounce_buffer_bytes < self.max_transfer_bytes:
             raise ValueError("bounce buffers must cover max transfer size")
+        if self.reply_timeout_us is not None and self.reply_timeout_us <= 0:
+            raise ValueError("reply timeout must be positive (or None)")
+        if self.max_retransmits < 0 or self.max_reconnects < 0:
+            raise ValueError("retry limits must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")

@@ -148,6 +148,9 @@ class FmrStrategy(RegistrationStrategy):
         self.pool = FMRPool(node.hca.tpt, pool_size=pool_size, max_bytes=max_bytes,
                             name=f"{node.name}.fmr")
         self._fallback = DynamicRegistration(node)
+        #: graceful-degradation accounting: mappings that fell back to
+        #: dynamic registration (pool exhausted or mapping too large).
+        self.fallbacks = Counter(f"{node.name}.fmr.fallbacks")
 
     def acquire(self, nbytes: int, access: AccessFlags) -> Generator:
         buffer = self.node.arena.alloc(nbytes)
@@ -161,6 +164,7 @@ class FmrStrategy(RegistrationStrategy):
         except (FMRExhausted, FMRTooLarge):
             region = yield from self._fallback.wrap(buffer, access, addr=addr, length=length)
             region.handle = "fallback"
+            self.fallbacks.add()
             self.acquires.add()
             return region
         self.acquires.add()

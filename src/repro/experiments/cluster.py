@@ -10,6 +10,8 @@ benchmark builds on this.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 from repro.analysis.calibration import SOLARIS_SDR, TestbedProfile
 from repro.core import (
     ClientRegistrationCache,
@@ -21,10 +23,13 @@ from repro.core import (
     RegistrationCacheStrategy,
 )
 from repro.core.strategies import AllPhysicalStrategy, FmrStrategy, RegistrationStrategy
+from repro.faults import FaultInjector, FaultPlan
 from repro.fs import BlockFs, DiskConfig, Raid0, TmpFs
 from repro.ib.fabric import Fabric, IBNode
+from repro.ib.verbs import QPState
 from repro.nfs import NfsClient, NfsServer
 from repro.rpc import RpcServer, TcpRpcClient, TcpRpcServerTransport
+from repro.rpc.drc import DuplicateRequestCache
 from repro.rpc.svc import RpcServerCosts
 from repro.sim import Simulator
 from repro.tcpip import TcpConnection, TcpEndpoint
@@ -53,6 +58,15 @@ class ClusterConfig:
     page_bytes: int = 64 * 1024
     #: registration-cache memory budget (inf = unbounded).
     regcache_budget_bytes: float = float("inf")
+    #: duplicate request cache entries for the server (0 disables; the
+    #: default gives every cluster exactly-once retransmit semantics).
+    drc_entries: int = 1024
+    #: install the transport-level reconnect policy on RDMA clients so a
+    #: dead QP heals itself instead of killing the mount.
+    auto_reconnect: bool = True
+    #: deterministic fault schedule to arm against this cluster (None =
+    #: no injector constructed, zero overhead).
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if self.transport not in TRANSPORTS:
@@ -63,6 +77,8 @@ class ClusterConfig:
             raise ValueError(f"backend must be one of {BACKENDS}")
         if self.nclients < 1:
             raise ValueError("need at least one client")
+        if self.drc_entries < 0:
+            raise ValueError("drc_entries must be non-negative")
 
     @property
     def is_rdma(self) -> bool:
@@ -127,12 +143,19 @@ class Cluster:
                 page_bytes=config.page_bytes,
             )
 
-        # RPC dispatcher + NFS program.
+        # RPC dispatcher + NFS program.  The DRC is on by default: any
+        # transport-level retry (TCP retransmit, RDMA recovery) must not
+        # re-execute non-idempotent procedures.
+        self.drc = (
+            DuplicateRequestCache(config.drc_entries, name="rpcsvc.drc")
+            if config.drc_entries > 0 else None
+        )
         self.rpc_server = RpcServer(
             self.sim,
             self.server_node.cpu,
             nthreads=profile.server_threads,
             costs=RpcServerCosts(),
+            drc=self.drc,
             name="rpcsvc",
         )
         self.nfs_server = NfsServer(
@@ -150,6 +173,13 @@ class Cluster:
         for node in self.client_nodes:
             mount = self._connect_client(node)
             self.mounts.append(mount)
+
+        # Fault injection (off unless a plan is supplied): hooks install
+        # only when armed, so fault-free runs schedule no extra events.
+        self.faults: Optional[FaultInjector] = None
+        if config.fault_plan is not None:
+            self.faults = FaultInjector(self, config.fault_plan)
+            self.faults.arm()
 
     # -- wiring -----------------------------------------------------------
     def _make_strategy(self, kind: str, node: IBNode) -> RegistrationStrategy:
@@ -176,27 +206,57 @@ class Cluster:
             return AllPhysicalStrategy(node)
         raise ValueError(kind)
 
+    def _make_server_transport(self, qp_s):
+        """Build + attach one RDMA server transport for ``qp_s``."""
+        profile = self.config.profile
+        cls = ReadWriteServer if self.config.transport == "rdma-rw" else ReadReadServer
+        server = cls(self.server_node, qp_s, profile.rpcrdma, self.server_strategy)
+        server.attach(self.rpc_server)
+        self.server_transports.append(server)
+        return server
+
+    def _redial(self, client):
+        """Transport recovery policy (installed as ``client.reconnector``).
+
+        What `reconnect_client` used to do by hand, promoted into the
+        transport's own error path: tear down the dead connection (the
+        server side reclaims anything the old client pinned — §4.1's
+        operational defense), then hand back a fresh QP and the new
+        server transport's ready event for the CM handshake.
+        """
+        old_qp = client.qp
+        old_server = next(
+            (s for s in self.server_transports
+             if getattr(s, "qp", None) is old_qp.peer),
+            None,
+        )
+        if old_qp.state is not QPState.ERROR:
+            old_qp.enter_error("client-initiated redial")
+        if old_qp.peer is not None and old_qp.peer.state is not QPState.ERROR:
+            old_qp.peer.enter_error("client-initiated redial (remote)")
+        if old_server is not None:
+            self.server_transports.remove(old_server)
+            yield from old_server.disconnect()
+        qp_c, qp_s = self.fabric.connect(client.node, self.server_node)
+        server = self._make_server_transport(qp_s)
+        return qp_c, server.ready
+
     def _connect_client(self, node: IBNode) -> Mount:
         config = self.config
         profile = config.profile
         if config.is_rdma:
             qp_c, qp_s = self.fabric.connect(node, self.server_node)
             client_strategy = self._make_strategy(config.strategy, node)
-            if config.transport == "rdma-rw":
-                client = ReadWriteClient(node, qp_c, profile.rpcrdma, client_strategy)
-                server = ReadWriteServer(
-                    self.server_node, qp_s, profile.rpcrdma, self.server_strategy
-                )
-            else:
-                client = ReadReadClient(node, qp_c, profile.rpcrdma, client_strategy)
-                server = ReadReadServer(
-                    self.server_node, qp_s, profile.rpcrdma, self.server_strategy
-                )
-            server.attach(self.rpc_server)
+            client_cls = (
+                ReadWriteClient if config.transport == "rdma-rw" else ReadReadClient
+            )
+            client = client_cls(node, qp_c, profile.rpcrdma, client_strategy)
+            server = self._make_server_transport(qp_s)
             # CM handshake: the client may not send until the server side
             # has pre-posted its receives.
             client.peer_ready = server.ready
-            self.server_transports.append(server)
+            if config.auto_reconnect:
+                client.reconnector = self._redial
             transport = client
         else:
             nic = profile.ipoib if config.transport == "tcp-ipoib" else profile.gige
@@ -230,9 +290,18 @@ class Cluster:
         handles (NFS is stateless; handles survive reconnection).
         """
         old = self.mounts[index]
-        dead_server = self.server_transports[index] if index < len(
-            self.server_transports) else None
+        if self.config.is_rdma:
+            qp = old.transport.qp
+            dead_server = next(
+                (s for s in self.server_transports
+                 if getattr(s, "qp", None) is qp.peer),
+                None,
+            )
+        else:
+            dead_server = self.server_transports[index] if index < len(
+                self.server_transports) else None
         if dead_server is not None and hasattr(dead_server, "disconnect"):
+            self.server_transports.remove(dead_server)
             self.sim.process(dead_server.disconnect(),
                              name="server.disconnect")
         mount = self._connect_client(old.node)

@@ -14,6 +14,9 @@ import sys
 import time
 
 from repro.experiments import figures
+from repro.experiments.chaos import recovery_summary, run_chaos_soak_table
+
+__all__ = ["ALL_EXPERIMENTS", "generate", "main", "recovery_summary"]
 
 #: (runner, paper-vs-measured commentary extractor)
 ALL_EXPERIMENTS = [
@@ -25,6 +28,7 @@ ALL_EXPERIMENTS = [
     figures.run_fig9,
     figures.run_fig10,
     figures.run_security_audit,
+    run_chaos_soak_table,
 ]
 
 PREAMBLE = """\
@@ -68,6 +72,37 @@ Absolute numbers depend on the calibrated profiles in
 """
 
 
+CHAOS_RECIPE = """\
+### Chaos recipe
+
+The soak builds a 4-client `rdma-rw` cluster on the RAID backend with
+`reply_timeout_us=30_000` and arms `FaultPlan.chaos(seed, duration_us,
+nclients=4, loss_rate=0.01, qp_kills=3, disk_faults=2)`: a schedule of
+QP kills and transient disk errors landing in the middle 80% of the
+window plus continuous ~1% message loss.  A `FaultPlan` is a frozen
+value object — tuples of `MessageLoss(rate, start_us, end_us, node)`,
+`DelaySpike(rate, mean_delay_us, ...)`, `QpKill(at_us, client_index)`,
+`DiskFault(at_us, count, disk_index)`, `ServerStall(at_us,
+duration_us)` and `ServerCrash(at_us, restart_us)` — so a schedule is
+printable, diffable and hashable.
+
+Invariants asserted (benchmarks/test_chaos_soak.py):
+
+* the Postmark-style workload completes with **zero** manual repair —
+  every recovery is the transport's own retransmit/redial machinery;
+* every non-idempotent procedure (CREATE/REMOVE/RENAME) executed
+  exactly once per (xid, proc) despite retransmits and reconnects;
+* every acknowledged stable WRITE read back intact;
+* the schedule actually bit: >=3 QP kills fired, messages dropped,
+  >=2 disk errors hit.
+
+Reproduction: every stochastic draw derives from two integers — the
+cluster seed and the plan seed (both default 2007).  Re-running
+`repro.experiments.chaos.run_chaos_soak(scale, seed)` replays the
+identical run, fault for fault.
+"""
+
+
 def generate(scale: str = "quick") -> str:
     sections = [PREAMBLE.format(scale=scale)]
     for runner in ALL_EXPERIMENTS:
@@ -82,6 +117,8 @@ def generate(scale: str = "quick") -> str:
             "```\n\n"
             f"*(regenerated in {elapsed:.1f}s wall, scale={scale})*\n"
         )
+        if runner is run_chaos_soak_table:
+            sections.append(CHAOS_RECIPE)
     return "\n".join(sections)
 
 

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the simulated cluster.
+
+Declare *what* breaks in a :class:`FaultPlan`; a :class:`FaultInjector`
+arms it against a built cluster, installing hooks in the wire
+(`ib/link.py`), the HCA delivery path, the disks (`fs/disk.py`) and the
+server CPU (`osmodel`), and scheduling one-shot faults (QP kills,
+crash-restart windows).  Everything is seeded, nothing is installed
+unless armed, and an unarmed run schedules zero extra events.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DelaySpike,
+    DiskFault,
+    FaultPlan,
+    MessageLoss,
+    QpKill,
+    ServerCrash,
+    ServerStall,
+)
+
+__all__ = [
+    "DelaySpike",
+    "DiskFault",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageLoss",
+    "QpKill",
+    "ServerCrash",
+    "ServerStall",
+]

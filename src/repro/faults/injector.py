@@ -1,0 +1,215 @@
+"""Arms a :class:`FaultPlan` against a built cluster.
+
+The injector is the single implementation behind every hook point:
+
+* ``ib/link.py`` — it *is* a :class:`LinkFaultHook`; installed on the
+  server's and every client's port it answers the drop/delay queries
+  the wire and the HCA delivery path make.
+* ``ib/verbs.py`` — scheduled :meth:`QueuePair.enter_error` on both
+  ends of a mount's connection (:class:`QpKill`, :class:`ServerCrash`).
+* ``fs/disk.py`` — transient-error arming consumed by the disk driver's
+  retry loop (:class:`DiskFault`).
+* ``osmodel`` — whole-server stall windows via :meth:`CPU.stall`
+  (:class:`ServerStall`, the crash-restart window).
+
+Nothing here runs unless :meth:`FaultInjector.arm` is called, and every
+draw comes from a child of the plan's seed, so armed runs are exactly
+reproducible and unarmed runs are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+from repro.ib.link import DuplexLink, LinkFaultHook
+from repro.ib.verbs import QPState, QueuePair
+from repro.sim import Counter, DeterministicRNG
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector(LinkFaultHook):
+    """Deterministic executor for a :class:`FaultPlan`.
+
+    ``cluster`` is duck-typed: anything exposing ``sim``, ``mounts``,
+    ``server_node``, ``client_nodes`` and (optionally) ``raid`` works.
+    """
+
+    def __init__(self, cluster, plan: FaultPlan):
+        self.cluster = cluster
+        self.plan = plan
+        self.sim = cluster.sim
+        self.rng = DeterministicRNG(plan.seed, "fault-injector")
+        self._loss_rng = self.rng.child("loss")
+        self._delay_rng = self.rng.child("delay")
+        self._armed = False
+        #: port -> node name, for node-scoped loss/delay specs.
+        self._port_nodes: dict[int, str] = {}
+        #: deterministic targeted drops (tests): node name -> messages.
+        self._forced_drops: dict[str, int] = {}
+        #: armed-but-unconsumed transient disk errors.
+        self._disk_errors_any = 0
+        self._disk_errors_by_name: dict[str, int] = {}
+        self.messages_dropped = Counter("faults.msg_dropped")
+        self.delay_spikes_injected = Counter("faults.delay_spikes")
+        self.qp_kills_fired = Counter("faults.qp_kills")
+        self.disk_errors_armed = Counter("faults.disk_errors")
+        self.stalls_fired = Counter("faults.stalls")
+        self.crashes_fired = Counter("faults.crashes")
+
+    # -- lifecycle --------------------------------------------------------
+    def arm(self) -> None:
+        """Install hooks and schedule every planned fault."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        nodes = [self.cluster.server_node] + list(self.cluster.client_nodes)
+        for node in nodes:
+            port = node.hca.port
+            self._port_nodes[id(port)] = node.name
+            port.fault_hook = self
+        raid = getattr(self.cluster, "raid", None)
+        if raid is not None:
+            for disk in raid.disks:
+                disk.fault_hook = self
+        for spec in self.plan.qp_kills:
+            self.sim.process(self._qp_kill(spec), name="faults.qpkill")
+        for spec in self.plan.disk_faults:
+            self.sim.process(self._disk_fault(spec), name="faults.disk")
+        for spec in self.plan.server_stalls:
+            self.sim.process(self._stall(spec), name="faults.stall")
+        for spec in self.plan.server_crashes:
+            self.sim.process(self._crash(spec), name="faults.crash")
+
+    def disarm(self) -> None:
+        """Remove the hooks (scheduled one-shot faults may still fire)."""
+        for node in [self.cluster.server_node] + list(self.cluster.client_nodes):
+            if node.hca.port.fault_hook is self:
+                node.hca.port.fault_hook = None
+        raid = getattr(self.cluster, "raid", None)
+        if raid is not None:
+            for disk in raid.disks:
+                if disk.fault_hook is self:
+                    disk.fault_hook = None
+        self._armed = False
+
+    # -- LinkFaultHook interface ------------------------------------------
+    def drop_message(self, link: DuplexLink) -> bool:
+        node = self._port_nodes.get(id(link))
+        if node is None:
+            return False
+        forced = self._forced_drops.get(node, 0)
+        if forced > 0:
+            self._forced_drops[node] = forced - 1
+            self.messages_dropped.add()
+            return True
+        now = self.sim.now
+        for spec in self.plan.message_loss:
+            if spec.node is not None and spec.node != node:
+                continue
+            if not spec.start_us <= now < spec.end_us:
+                continue
+            if self._loss_rng.uniform() < spec.rate:
+                self.messages_dropped.add()
+                return True
+        return False
+
+    def transfer_delay_us(self, link: DuplexLink, nbytes: int) -> float:
+        node = self._port_nodes.get(id(link))
+        if node is None:
+            return 0.0
+        now = self.sim.now
+        for spec in self.plan.delay_spikes:
+            if spec.node is not None and spec.node != node:
+                continue
+            if not spec.start_us <= now < spec.end_us:
+                continue
+            if self._delay_rng.uniform() < spec.rate:
+                self.delay_spikes_injected.add()
+                return self._delay_rng.exponential(spec.mean_delay_us)
+        return 0.0
+
+    # -- disk hook ---------------------------------------------------------
+    def disk_error(self, disk) -> bool:
+        pending = self._disk_errors_by_name.get(disk.name, 0)
+        if pending > 0:
+            self._disk_errors_by_name[disk.name] = pending - 1
+            return True
+        if self._disk_errors_any > 0:
+            self._disk_errors_any -= 1
+            return True
+        return False
+
+    # -- test helpers ------------------------------------------------------
+    def drop_next(self, node: str, count: int = 1) -> None:
+        """Deterministically drop the next ``count`` messages arriving at
+        ``node`` — the surgical variant of :class:`MessageLoss`."""
+        self._forced_drops[node] = self._forced_drops.get(node, 0) + count
+
+    # -- scheduled faults ---------------------------------------------------
+    def _wait_until(self, at_us: float):
+        return self.sim.timeout(max(0.0, at_us - self.sim.now))
+
+    def _kill_connection(self, qp: Optional[QueuePair], cause: str) -> bool:
+        if qp is None or qp.state is QPState.ERROR:
+            return False
+        peer = qp.peer
+        qp.enter_error(cause)
+        if peer is not None and peer.state is not QPState.ERROR:
+            peer.enter_error(f"{cause} (remote)")
+        return True
+
+    def _qp_kill(self, spec):
+        yield self._wait_until(spec.at_us)
+        mounts = self.cluster.mounts
+        mount = mounts[spec.client_index % len(mounts)]
+        qp = getattr(mount.transport, "qp", None)
+        if self._kill_connection(qp, "injected fault: qp kill"):
+            self.qp_kills_fired.add()
+
+    def _disk_fault(self, spec):
+        yield self._wait_until(spec.at_us)
+        raid = getattr(self.cluster, "raid", None)
+        if raid is None:
+            return  # tmpfs backend: nothing to fail
+        if spec.disk_index is None:
+            self._disk_errors_any += spec.count
+        else:
+            disk = raid.disks[spec.disk_index % len(raid.disks)]
+            self._disk_errors_by_name[disk.name] = (
+                self._disk_errors_by_name.get(disk.name, 0) + spec.count
+            )
+        self.disk_errors_armed.add(spec.count)
+
+    def _stall(self, spec):
+        yield self._wait_until(spec.at_us)
+        self.stalls_fired.add()
+        yield from self.cluster.server_node.cpu.stall(spec.duration_us)
+
+    def _crash(self, spec):
+        yield self._wait_until(spec.at_us)
+        self.crashes_fired.add()
+        # Every connection dies with the server...
+        for mount in self.cluster.mounts:
+            self._kill_connection(getattr(mount.transport, "qp", None),
+                                  "injected fault: server crash")
+        # ...and the node is unresponsive until it has rebooted; clients
+        # redialing during the window queue behind the restart.
+        yield from self.cluster.server_node.cpu.stall(spec.restart_us)
+
+    # -- reporting ----------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        disks = []
+        raid = getattr(self.cluster, "raid", None)
+        if raid is not None:
+            disks = raid.disks
+        return {
+            "messages dropped": self.messages_dropped.events,
+            "delay spikes": self.delay_spikes_injected.events,
+            "qp kills": self.qp_kills_fired.events,
+            "disk errors armed": int(self.disk_errors_armed.value),
+            "disk errors hit": sum(d.transient_errors.events for d in disks),
+            "server stalls": self.stalls_fired.events,
+            "server crashes": self.crashes_fired.events,
+        }

@@ -1,0 +1,188 @@
+"""Declarative, deterministic fault schedules.
+
+A :class:`FaultPlan` is a frozen value object describing *what* goes
+wrong and *when*; the :class:`repro.faults.injector.FaultInjector` turns
+it into hook installations and scheduled processes against a built
+cluster.  Everything stochastic (which message drops, how long a delay
+spike lasts) derives from the plan's seed through
+:class:`repro.sim.DeterministicRNG`, so a failing chaos run reproduces
+from ``(cluster seed, plan seed)`` alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim import DeterministicRNG
+
+__all__ = [
+    "DelaySpike",
+    "DiskFault",
+    "FaultPlan",
+    "MessageLoss",
+    "QpKill",
+    "ServerCrash",
+    "ServerStall",
+]
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Probabilistic loss of channel messages (Sends) arriving at a node.
+
+    ``rate`` is the per-message drop probability while the window
+    [``start_us``, ``end_us``) is open; ``node`` restricts the loss to
+    one node's ingress (``"server"``, ``"client0"``, ...) or, when
+    None, applies to every armed port.
+    """
+
+    rate: float
+    start_us: float = 0.0
+    end_us: float = math.inf
+    node: Optional[str] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("loss rate must be a probability")
+        if self.end_us < self.start_us:
+            raise ValueError("loss window ends before it starts")
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Probabilistic extra latency (congestion burst) on transfers.
+
+    Each affected transfer is held for an exponentially distributed
+    extra delay with mean ``mean_delay_us``.
+    """
+
+    rate: float
+    mean_delay_us: float
+    start_us: float = 0.0
+    end_us: float = math.inf
+    node: Optional[str] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("spike rate must be a probability")
+        if self.mean_delay_us <= 0:
+            raise ValueError("spike delay must be positive")
+
+
+@dataclass(frozen=True)
+class QpKill:
+    """Scheduled fatal QP error on one mount's connection (both ends)."""
+
+    at_us: float
+    client_index: int = 0
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """Arm ``count`` transient medium errors from ``at_us`` onward.
+
+    ``disk_index`` pins the faults to one spindle of the RAID set;
+    None lets whichever disk is accessed next absorb them.  Ignored on
+    the tmpfs backend (no spindles to fail).
+    """
+
+    at_us: float
+    count: int = 1
+    disk_index: Optional[int] = None
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("disk fault count must be positive")
+
+
+@dataclass(frozen=True)
+class ServerStall:
+    """Seize every server core for a window (GC pause / livelock)."""
+
+    at_us: float
+    duration_us: float
+
+    def __post_init__(self):
+        if self.duration_us <= 0:
+            raise ValueError("stall duration must be positive")
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """Crash-restart: every connection dies, then the server is
+    unresponsive (all cores held) for ``restart_us`` while it reboots."""
+
+    at_us: float
+    restart_us: float = 50_000.0
+
+    def __post_init__(self):
+        if self.restart_us <= 0:
+            raise ValueError("restart window must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full schedule; empty tuples everywhere = no faults."""
+
+    seed: int = 2007
+    message_loss: tuple[MessageLoss, ...] = ()
+    delay_spikes: tuple[DelaySpike, ...] = ()
+    qp_kills: tuple[QpKill, ...] = ()
+    disk_faults: tuple[DiskFault, ...] = ()
+    server_stalls: tuple[ServerStall, ...] = ()
+    server_crashes: tuple[ServerCrash, ...] = field(default=())
+
+    @property
+    def empty(self) -> bool:
+        return not (self.message_loss or self.delay_spikes or self.qp_kills
+                    or self.disk_faults or self.server_stalls
+                    or self.server_crashes)
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        duration_us: float,
+        nclients: int = 1,
+        loss_rate: float = 0.01,
+        qp_kills: int = 3,
+        disk_faults: int = 2,
+        delay_rate: float = 0.0,
+        mean_delay_us: float = 200.0,
+        stalls: int = 0,
+        stall_us: float = 20_000.0,
+    ) -> "FaultPlan":
+        """A randomized soak schedule, fully determined by ``seed``.
+
+        Scheduled faults land in the middle 80% of ``duration_us`` so
+        the workload is actually in flight when they strike.
+        """
+        rng = DeterministicRNG(seed, "fault-plan")
+
+        def when() -> float:
+            return rng.uniform(0.1 * duration_us, 0.9 * duration_us)
+
+        kills = tuple(
+            QpKill(at_us=when(), client_index=rng.integers(0, max(1, nclients)))
+            for _ in range(qp_kills)
+        )
+        disks = tuple(DiskFault(at_us=when()) for _ in range(disk_faults))
+        loss = (MessageLoss(rate=loss_rate, end_us=duration_us),) if loss_rate > 0 else ()
+        spikes = (
+            (DelaySpike(rate=delay_rate, mean_delay_us=mean_delay_us,
+                        end_us=duration_us),)
+            if delay_rate > 0 else ()
+        )
+        stall_specs = tuple(
+            ServerStall(at_us=when(), duration_us=stall_us) for _ in range(stalls)
+        )
+        return cls(
+            seed=seed,
+            message_loss=loss,
+            delay_spikes=spikes,
+            qp_kills=tuple(sorted(kills, key=lambda k: k.at_us)),
+            disk_faults=tuple(sorted(disks, key=lambda d: d.at_us)),
+            server_stalls=stall_specs,
+        )

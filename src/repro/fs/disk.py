@@ -30,6 +30,9 @@ class DiskConfig:
     #: concurrent sequential streams the drive/scheduler tracks (elevator
     #: scheduling + readahead keep several interleaved scans seek-free).
     stream_heads: int = 8
+    #: recovery time charged per injected transient error (bus reset +
+    #: command reissue); only paid when a fault hook reports an error.
+    error_retry_us: float = 30_000.0
 
     def transfer_us(self, nbytes: int) -> float:
         return nbytes / self.streaming_mb_s
@@ -51,6 +54,11 @@ class Disk:
         from collections import deque
         self._heads = deque([0], maxlen=config.stream_heads)
         self.seeks = Counter(f"{name}.seeks")
+        #: optional fault hook (``disk_error(disk) -> bool``); a True
+        #: return injects one transient medium error, which the driver
+        #: layer here absorbs with a retry — callers never see it.
+        self.fault_hook = None
+        self.transient_errors = Counter(f"{name}.transient_errors")
 
     def _service_us(self, offset: int, nbytes: int) -> float:
         cfg = self.config
@@ -75,6 +83,12 @@ class Disk:
         yield req
         self.meter.acquire()
         try:
+            while self.fault_hook is not None and self.fault_hook.disk_error(self):
+                # Transient medium error: charge the recovery window and
+                # reissue.  The request eventually succeeds, so no
+                # acknowledged write is ever lost to an injected fault.
+                self.transient_errors.add()
+                yield self.sim.timeout(self.config.error_retry_us)
             yield self.sim.timeout(self._service_us(offset, nbytes))
         finally:
             self.meter.release()

@@ -240,6 +240,15 @@ class HCA:
         peer_qp = qp.peer
         peer_hca: HCA = peer_qp.hca
         yield self.sim.timeout(self.port.propagation_us(peer_hca.port))
+        hook = peer_hca.port.fault_hook
+        if hook is not None and hook.drop_message(peer_hca.port):
+            # Injected loss at the receiving HCA/driver boundary: the
+            # wire-level ack already went out, so the sender's CQE is a
+            # success, but no receive ever fires — exactly the silent
+            # loss an RPC retransmit timer exists to cover.
+            yield self.sim.timeout(peer_hca.port.config.latency_us)
+            wr._complete(qp, qp.send_cq, CqeStatus.SUCCESS, byte_len=len(payload))
+            return
         lock = self._delivery_locks[qp.qp_num].request()
         yield lock
         try:

@@ -17,7 +17,31 @@ from typing import Generator
 
 from repro.sim import Counter, Resource, Simulator, UtilizationMeter
 
-__all__ = ["DuplexLink", "LinkConfig", "PortDirection"]
+__all__ = ["DuplexLink", "LinkConfig", "LinkFaultHook", "PortDirection"]
+
+
+class LinkFaultHook:
+    """Fault-injection interface a port consults when one is installed.
+
+    The default implementation is a no-op; `repro.faults` provides the
+    deterministic injector.  ``DuplexLink.fault_hook`` is ``None`` unless
+    a fault plan is armed, so the fault-free fast path costs a single
+    attribute check and schedules no events.
+    """
+
+    def transfer_delay_us(self, link: "DuplexLink", nbytes: int) -> float:
+        """Extra one-way delay (congestion spike) for this transfer."""
+        return 0.0
+
+    def drop_message(self, link: "DuplexLink") -> bool:
+        """True to silently discard a channel message arriving at ``link``.
+
+        Consulted by the receiving HCA for Send deliveries only: RDMA
+        Read/Write data is never dropped (the RC protocol retries those
+        below the verbs layer), so loss surfaces exactly where an RPC
+        transport must handle it — a call or reply that never arrives.
+        """
+        return False
 
 
 @dataclass(frozen=True)
@@ -80,6 +104,8 @@ class DuplexLink:
         self.name = name
         self.tx = PortDirection(sim, config, f"{name}.tx")
         self.rx = PortDirection(sim, config, f"{name}.rx")
+        #: optional LinkFaultHook; installed by a FaultInjector, else None.
+        self.fault_hook = None
 
     def propagation_us(self, dst: "DuplexLink") -> float:
         """One-way propagation delay to ``dst`` (switch hop included)."""
@@ -97,6 +123,10 @@ class DuplexLink:
         """
         if nbytes < 0:
             raise ValueError("negative transfer size")
+        if self.fault_hook is not None:
+            spike = self.fault_hook.transfer_delay_us(self, nbytes)
+            if spike > 0.0:
+                yield self.sim.timeout(spike)
         cfg = self.config
         total = nbytes + cfg.per_message_overhead_bytes
         bw = min(cfg.bandwidth_mb_s, dst.config.bandwidth_mb_s)

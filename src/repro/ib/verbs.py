@@ -276,6 +276,11 @@ class QueuePair:
         self.sq: Store = Store(sim, name=f"qp{self.qp_num}.sq")
         self.rq: deque[RecvWR] = deque()
         self.error_cause: Optional[str] = None
+        #: async-event subscribers: each callable(qp, cause) fires once,
+        #: synchronously, when the QP transitions to ERROR — the verbs
+        #: analogue of IBV_EVENT_QP_FATAL, used by transports for prompt
+        #: failure detection instead of waiting for a flushed CQE.
+        self.on_error: list = []
 
     # -- consumer API -----------------------------------------------------
     def post_send(self, wr: _WorkRequest) -> _WorkRequest:
@@ -312,6 +317,8 @@ class QueuePair:
         while self.rq:
             wr = self.rq.popleft()
             wr._complete(self, self.recv_cq, CqeStatus.WR_FLUSH_ERR, error=cause)
+        for callback in list(self.on_error):
+            callback(self, cause)
 
     @property
     def recv_queue_depth(self) -> int:

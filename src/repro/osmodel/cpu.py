@@ -68,6 +68,29 @@ class CPU:
         """Process generator: charge one memory copy of ``nbytes``."""
         yield from self.consume(self.config.copy_cost_us(nbytes), priority=priority)
 
+    def stall(self, duration_us: float, priority: int = -1) -> Generator:
+        """Process generator: seize *every* core for ``duration_us``.
+
+        Models a whole-node stall (crash-restart window, checkpoint,
+        scheduler livelock): all protocol work queues behind the stall
+        and resumes when it ends.  High priority so the stall preempts
+        the run queue rather than waiting politely at the back.
+        """
+        if duration_us <= 0:
+            return
+        requests = [self.cores.request(priority=priority)
+                    for _ in range(self.config.cores)]
+        for req in requests:
+            yield req
+            self.meter.acquire()
+        try:
+            yield self.sim.timeout(duration_us)
+            self.busy_us_total += duration_us * self.config.cores
+        finally:
+            for req in requests:
+                self.meter.release()
+                self.cores.release(req)
+
     def utilization(self) -> float:
         """Mean fraction of all cores busy since the last window reset."""
         return self.meter.utilization()

@@ -7,6 +7,12 @@ REMOVE, RENAME...) and return spurious errors.  The DRC remembers, per
 dropped — the original's reply is coming) or completed (cached reply
 replayed without re-execution).
 
+A duplicate of an *in-progress* request may additionally park its reply
+path as a waiter: when the original completes, the cached reply is
+replayed through every parked responder.  This covers the reconnect
+race — the original connection died mid-execution, the client retried
+over a fresh one, and the retry's responder is the only live path back.
+
 Entries age out LRU beyond ``max_entries``, the classic bounded-DRC
 design (and its classic caveat: a retransmit older than the cache
 horizon can re-execute; tests pin the horizon behavior).
@@ -34,10 +40,12 @@ class DrcDecision(enum.Enum):
 
 
 class _InProgress:
-    __slots__ = ()
+    """Marker for an executing request, plus parked duplicate responders."""
 
+    __slots__ = ("waiters",)
 
-_IN_PROGRESS = _InProgress()
+    def __init__(self):
+        self.waiters: list = []
 
 
 class DuplicateRequestCache:
@@ -69,17 +77,31 @@ class DuplicateRequestCache:
     def begin(self, xid: int, prog: int, proc: int) -> None:
         """Record a request as executing."""
         key = (xid, prog, proc)
-        self._entries[key] = _IN_PROGRESS
+        self._entries[key] = _InProgress()
         self._entries.move_to_end(key)
         self.inserts.add()
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
-    def complete(self, xid: int, prog: int, proc: int, reply: RpcReply) -> None:
-        """Record the outcome for future replays."""
+    def add_waiter(self, xid: int, prog: int, proc: int, respond) -> bool:
+        """Park a duplicate's responder until the original completes.
+
+        Returns False if the entry is not (or no longer) in progress —
+        the caller should re-check instead of parking.
+        """
+        entry = self._entries.get((xid, prog, proc))
+        if not isinstance(entry, _InProgress):
+            return False
+        entry.waiters.append(respond)
+        return True
+
+    def complete(self, xid: int, prog: int, proc: int, reply: RpcReply) -> list:
+        """Record the outcome; returns responders parked by duplicates."""
         key = (xid, prog, proc)
+        entry = self._entries.get(key)
         if key in self._entries:
             self._entries[key] = reply
+        return entry.waiters if isinstance(entry, _InProgress) else []
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -60,22 +60,30 @@ class RpcServer:
             raise ValueError(f"program {prog}v{vers} already registered")
         self._programs[key] = handler
 
-    def submit(self, call: RpcCall, respond: Callable[[RpcReply], Generator]) -> None:
+    def submit(self, call: RpcCall, respond: Callable[[RpcReply], Generator]) -> DrcDecision:
         """Queue one call; ``respond`` is the transport's reply path.
 
-        With a DRC configured, duplicates of in-flight requests are
-        dropped and completed requests are replayed without re-executing
-        the handler — exactly-once semantics under retransmission.
+        With a DRC configured, duplicates of in-flight requests park
+        their responder until the original completes (then the cached
+        reply replays through it), and already-completed requests replay
+        immediately — exactly-once semantics under retransmission.
+        Returns the DRC classification so transports can account for
+        duplicates; without a DRC every call is ``NEW``.
         """
         if self.drc is not None:
             decision, cached = self.drc.check(call.xid, call.prog, call.proc)
             if decision is DrcDecision.IN_PROGRESS:
-                return
+                if not self.drc.add_waiter(call.xid, call.prog, call.proc, respond):
+                    # Raced with completion: replay through this responder.
+                    _, cached = self.drc.check(call.xid, call.prog, call.proc)
+                    self.sim.process(respond(cached), name=f"{self.name}.replay")
+                return decision
             if decision is DrcDecision.REPLAY:
                 self.sim.process(respond(cached), name=f"{self.name}.replay")
-                return
+                return decision
             self.drc.begin(call.xid, call.prog, call.proc)
         self.pool.submit((call, respond))
+        return DrcDecision.NEW
 
     @property
     def backlog(self) -> int:
@@ -101,6 +109,10 @@ class RpcServer:
             )
         yield from self.cpu.consume(self.costs.encode_cpu_us)
         if self.drc is not None:
-            self.drc.complete(call.xid, call.prog, call.proc, reply)
+            waiters = self.drc.complete(call.xid, call.prog, call.proc, reply)
+            for parked in waiters:
+                # Duplicates that arrived mid-execution (possibly over a
+                # fresh connection after a reconnect) get the same reply.
+                self.sim.process(parked(reply), name=f"{self.name}.replay")
         yield from respond(reply)
         self.calls_served.add()

@@ -28,12 +28,19 @@ class TcpRpcClient(RpcClientTransport):
 
     def __init__(self, endpoint: TcpEndpoint, conn: TcpConnection,
                  retrans_timeout_us: Optional[float] = None,
-                 max_retries: int = 5, name: str = "rpc-tcp"):
+                 max_retries: int = 5,
+                 max_retrans_timeout_us: float = 60_000_000.0,
+                 name: str = "rpc-tcp"):
+        if max_retrans_timeout_us <= 0:
+            raise ValueError("max retransmit timeout must be positive")
         self.sim = endpoint.sim
         self.endpoint = endpoint
         self.conn = conn
         self.retrans_timeout_us = retrans_timeout_us
         self.max_retries = max_retries
+        #: backoff ceiling (RPC's classic 60 s major timeout): doubling
+        #: stops here instead of growing without bound.
+        self.max_retrans_timeout_us = max_retrans_timeout_us
         self.name = name
         self._pending: dict[int, Event] = {}
         self.calls_sent = Counter(f"{name}.calls")
@@ -63,7 +70,8 @@ class TcpRpcClient(RpcClientTransport):
             if attempt < self.max_retries:
                 self.retransmissions.add()
                 yield from self.conn.send(self.endpoint, message)
-                timeout_us *= 2  # classic RPC backoff
+                # Classic RPC exponential backoff, capped at the ceiling.
+                timeout_us = min(timeout_us * 2, self.max_retrans_timeout_us)
         self._pending.pop(call.xid, None)
         raise RpcTimeout(
             f"{self.name}: xid {call.xid:#x} unanswered after "

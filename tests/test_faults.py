@@ -1,0 +1,165 @@
+"""Unit tests for the fault-injection plan and injector."""
+
+import math
+
+import pytest
+
+from repro.experiments import Cluster, ClusterConfig
+from repro.faults import (
+    DelaySpike,
+    DiskFault,
+    FaultPlan,
+    MessageLoss,
+    QpKill,
+    ServerCrash,
+    ServerStall,
+)
+
+
+# ---------------------------------------------------------------- plan
+def test_plan_empty_property():
+    assert FaultPlan().empty
+    assert not FaultPlan(qp_kills=(QpKill(at_us=1.0),)).empty
+    assert not FaultPlan(message_loss=(MessageLoss(rate=0.5),)).empty
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        MessageLoss(rate=1.5)
+    with pytest.raises(ValueError):
+        MessageLoss(rate=0.1, start_us=10.0, end_us=5.0)
+    with pytest.raises(ValueError):
+        DelaySpike(rate=0.1, mean_delay_us=0.0)
+    with pytest.raises(ValueError):
+        DiskFault(at_us=0.0, count=0)
+    with pytest.raises(ValueError):
+        ServerStall(at_us=0.0, duration_us=0.0)
+    with pytest.raises(ValueError):
+        ServerCrash(at_us=0.0, restart_us=-1.0)
+
+
+def test_chaos_plan_is_deterministic():
+    a = FaultPlan.chaos(seed=42, duration_us=1e6, nclients=4)
+    b = FaultPlan.chaos(seed=42, duration_us=1e6, nclients=4)
+    assert a == b
+    c = FaultPlan.chaos(seed=43, duration_us=1e6, nclients=4)
+    assert a != c
+
+
+def test_chaos_plan_shape():
+    plan = FaultPlan.chaos(seed=7, duration_us=1e6, nclients=4,
+                           loss_rate=0.02, qp_kills=3, disk_faults=2)
+    assert len(plan.qp_kills) == 3
+    assert len(plan.disk_faults) == 2
+    assert len(plan.message_loss) == 1
+    assert plan.message_loss[0].rate == 0.02
+    # Kills land in the middle 80% and target valid clients.
+    for kill in plan.qp_kills:
+        assert 0.1e6 <= kill.at_us <= 0.9e6
+        assert 0 <= kill.client_index < 4
+    # Sorted by fire time.
+    times = [k.at_us for k in plan.qp_kills]
+    assert times == sorted(times)
+    # The loss window closes when the soak does.
+    assert plan.message_loss[0].end_us == 1e6
+    assert not math.isinf(plan.message_loss[0].end_us)
+
+
+# ---------------------------------------------------------------- injector
+def test_unarmed_cluster_has_no_hooks():
+    c = Cluster(ClusterConfig(transport="rdma-rw"))
+    assert c.faults is None
+    assert c.server_node.hca.port.fault_hook is None
+    for node in c.client_nodes:
+        assert node.hca.port.fault_hook is None
+
+
+def test_arming_installs_and_disarm_removes_hooks():
+    c = Cluster(ClusterConfig(transport="rdma-rw", backend="raid",
+                              fault_plan=FaultPlan(seed=1)))
+    assert c.faults is not None
+    assert c.server_node.hca.port.fault_hook is c.faults
+    assert all(n.hca.port.fault_hook is c.faults for n in c.client_nodes)
+    assert all(d.fault_hook is c.faults for d in c.raid.disks)
+    c.faults.disarm()
+    assert c.server_node.hca.port.fault_hook is None
+    assert all(d.fault_hook is None for d in c.raid.disks)
+
+
+def test_double_arm_rejected():
+    c = Cluster(ClusterConfig(transport="rdma-rw", fault_plan=FaultPlan(seed=1)))
+    with pytest.raises(RuntimeError):
+        c.faults.arm()
+
+
+def test_drop_next_is_surgical():
+    """drop_next eats exactly N messages at exactly the named node."""
+    c = Cluster(ClusterConfig(transport="rdma-rw", fault_plan=FaultPlan(seed=1)))
+    c.faults.drop_next("client0", 2)
+    port = c.mounts[0].node.hca.port
+    assert c.faults.drop_message(port) is True
+    assert c.faults.drop_message(port) is True
+    assert c.faults.drop_message(port) is False
+    assert c.faults.messages_dropped.events == 2
+    # Other nodes untouched.
+    c.faults.drop_next("client0", 1)
+    assert c.faults.drop_message(c.server_node.hca.port) is False
+
+
+def test_scheduled_qp_kill_fires():
+    c = Cluster(ClusterConfig(
+        transport="rdma-rw",
+        fault_plan=FaultPlan(seed=1, qp_kills=(QpKill(at_us=500.0),)),
+    ))
+    nfs = c.mounts[0].nfs
+
+    def workload():
+        for i in range(40):
+            fh, _ = yield from nfs.create(nfs.root, f"f{i}")
+            yield from nfs.write(fh, 0, bytes(16 * 1024))
+        return "done"
+
+    assert c.run(workload()) == "done"
+    assert c.faults.qp_kills_fired.events == 1
+    assert c.mounts[0].transport.reconnects.events >= 1
+    summary = c.faults.summary()
+    assert summary["qp kills"] == 1
+
+
+def test_disk_faults_retry_transparently():
+    c = Cluster(ClusterConfig(
+        transport="rdma-rw", backend="raid",
+        fault_plan=FaultPlan(seed=1, disk_faults=(DiskFault(at_us=0.0, count=2),)),
+    ))
+    nfs = c.mounts[0].nfs
+    # Blow past the page cache so reads hit the spindles.
+    big = 4 * 1024 * 1024
+
+    def workload():
+        fh, _ = yield from nfs.create(nfs.root, "blob")
+        yield from nfs.write_large(fh, 0, bytes(big))
+        yield from nfs.commit(fh, 0, big)
+        data, _ = yield from nfs.read_large(fh, 0, big)
+        return len(data)
+
+    assert c.run(workload()) == big
+    summary = c.faults.summary()
+    assert summary["disk errors armed"] == 2
+    assert summary["disk errors hit"] == 2
+
+
+def test_fault_free_plan_changes_nothing():
+    """An armed-but-empty plan must not perturb simulated timings."""
+    def elapsed(plan):
+        c = Cluster(ClusterConfig(transport="rdma-rw", fault_plan=plan))
+        nfs = c.mounts[0].nfs
+
+        def workload():
+            fh, _ = yield from nfs.create(nfs.root, "t")
+            yield from nfs.write(fh, 0, bytes(256 * 1024))
+            yield from nfs.read(fh, 0, 256 * 1024)
+
+        c.run(workload())
+        return c.sim.now
+
+    assert elapsed(None) == elapsed(FaultPlan(seed=99))

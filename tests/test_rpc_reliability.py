@@ -12,7 +12,8 @@ from repro.tcpip import IPOIB_PROFILE, TcpConnection, TcpEndpoint
 PROG, VERS = 100003, 3
 
 
-def rig(retrans_timeout_us=50_000.0, max_retries=4, drc=None, handler_delay=5.0):
+def rig(retrans_timeout_us=50_000.0, max_retries=4, drc=None, handler_delay=5.0,
+        **client_kwargs):
     sim = Simulator()
     eps = []
     for name in ("client", "server"):
@@ -21,7 +22,7 @@ def rig(retrans_timeout_us=50_000.0, max_retries=4, drc=None, handler_delay=5.0)
         eps.append(TcpEndpoint(sim, cpu, irq, IPOIB_PROFILE, name=name))
     conn = TcpConnection(eps[0], eps[1])
     client = TcpRpcClient(eps[0], conn, retrans_timeout_us=retrans_timeout_us,
-                          max_retries=max_retries)
+                          max_retries=max_retries, **client_kwargs)
     server_transport = TcpRpcServerTransport(eps[1], conn)
     rpc_server = RpcServer(sim, eps[1].cpu, nthreads=4, drc=drc)
     executions = []
@@ -152,6 +153,40 @@ def test_exhausted_retries_raise_timeout():
         return "unexpected"
 
     assert sim.run_until_complete(sim.process(proc())) == "timed-out"
+
+
+def test_tcp_backoff_capped():
+    """Exponential backoff stops doubling at the configured ceiling."""
+    sim, client, st, rs, executions = rig(
+        retrans_timeout_us=10_000.0, max_retries=5,
+        max_retrans_timeout_us=20_000.0,
+    )
+    st.drop_next_replies = 10
+
+    def proc():
+        try:
+            yield from client.call(RpcCall(prog=PROG, vers=VERS, proc=8,
+                                           header=b"xx"))
+        except RpcTimeout:
+            return sim.now
+        return None
+
+    elapsed = sim.run_until_complete(sim.process(proc()))
+    assert elapsed is not None
+    # Capped: 10k + 20k*5 = 110k (plus wire time).  Uncapped doubling
+    # would need 10k+20k+40k+80k+160k+320k = 630k.
+    assert elapsed < 200_000.0
+    assert client.retransmissions.events == 5
+
+
+def test_tcp_backoff_cap_validation():
+    sim = Simulator()
+    cpu = CPU(sim, CPUConfig(cores=2), name="c.cpu")
+    irq = InterruptController(sim, cpu, name="c.irq")
+    ep = TcpEndpoint(sim, cpu, irq, IPOIB_PROFILE, name="c")
+    conn = TcpConnection(ep, ep)
+    with pytest.raises(ValueError):
+        TcpRpcClient(ep, conn, max_retrans_timeout_us=0.0)
 
 
 def test_without_drc_retransmission_reexecutes():
