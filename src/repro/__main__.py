@@ -3,11 +3,15 @@
 ::
 
     python -m repro list
-    python -m repro run fig5 [--scale quick|full]
-    python -m repro report [--scale quick|full] [--output EXPERIMENTS.md]
+    python -m repro run fig5 [--scale quick|full] [--jobs N]
+    python -m repro report [--scale quick|full] [--jobs N] [--output EXPERIMENTS.md]
+    python -m repro bench [--scale quick|full] [--jobs N] [--output-dir .]
     python -m repro iozone --transport rdma-rw --strategy cache --threads 8
     python -m repro oltp --strategy cache --readers 50
     python -m repro postmark --transactions 400 [--client-cache]
+
+``--jobs N`` fans independent figure points across N worker processes;
+results are bit-identical to ``--jobs 1`` (see repro.experiments.sweep).
 """
 
 from __future__ import annotations
@@ -73,11 +77,46 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     runner = EXPERIMENTS[args.experiment]
-    result = runner(args.scale)
+    result = runner(args.scale, jobs=args.jobs)
     print(result)
     chart = _chart_for(result)
     if chart:
         print(chart)
+    return 0
+
+
+#: The figures benchmarked by ``python -m repro bench`` (satellite of
+#: DESIGN.md §8): each produces BENCH_<name>.json next to --output-dir.
+BENCH_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+
+
+def cmd_bench(args) -> int:
+    """Benchmark the simulator itself: wall time and events/sec per figure."""
+    import json
+    import os
+    import time
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    for name in BENCH_FIGURES:
+        runner = EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        result = runner(args.scale, jobs=args.jobs)
+        wall = time.perf_counter() - t0
+        payload = {
+            "experiment": name,
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "wall_seconds": round(wall, 3),
+            "events_stepped": result.events,
+            "events_per_sec": round(result.events / wall) if wall else 0,
+            "points": len(result.rows),
+        }
+        path = os.path.join(args.output_dir, f"BENCH_{name}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"{name}: {wall:6.1f}s wall  {result.events:>10,} events  "
+              f"{payload['events_per_sec']:>10,} events/s  -> {path}")
     return 0
 
 
@@ -104,7 +143,7 @@ def _chart_for(result) -> str:
 def cmd_report(args) -> int:
     from repro.experiments.report import generate
 
-    content = generate(args.scale)
+    content = generate(args.scale, jobs=args.jobs)
     with open(args.output, "w") as fh:
         fh.write(content)
     print(f"wrote {args.output} ({len(content)} bytes)")
@@ -160,12 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one paper experiment")
     p.add_argument("experiment", choices=sorted(EXPERIMENTS))
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the point sweep (default 1)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--output", default="EXPERIMENTS.md")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("bench", help="benchmark the simulator (BENCH_*.json)")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--output-dir", default=".")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("iozone", help="IOzone-style bandwidth run")
     _add_cluster_args(p)

@@ -239,8 +239,12 @@ def run_chaos_soak(
     )
 
 
-def run_chaos_soak_table(scale: str = "quick") -> ExperimentResult:
-    """Chaos soak: recovery counters from a faulted multi-client run."""
+def run_chaos_soak_table(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
+    """Chaos soak: recovery counters from a faulted multi-client run.
+
+    ``jobs`` is accepted for runner-signature uniformity but unused: the
+    soak is a single fault-ordered simulation, not a point grid.
+    """
     out = run_chaos_soak(scale)
     result = out.summary
     result.experiment = "Chaos soak: recovery summary"

@@ -7,6 +7,12 @@ for CI/benchmarks, ``full`` for EXPERIMENTS.md regeneration.  Absolute
 numbers come from the calibrated profiles (DESIGN.md §4); the *shape*
 targets from the paper are embedded here so reports can show
 paper-vs-measured side by side.
+
+Every figure is a grid of independent points, so each runner builds a
+:class:`~repro.experiments.sweep.Point` list and hands it to
+:func:`~repro.experiments.sweep.sweep` — pass ``jobs > 1`` to fan the
+grid across worker processes with bit-identical results (``--jobs`` on
+the CLI).
 """
 
 from __future__ import annotations
@@ -14,11 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.analysis import LINUX_DDR_RAID, LINUX_SDR, SOLARIS_SDR
 from repro.analysis.stats import format_table
-from repro.experiments.cluster import Cluster, ClusterConfig
-from repro.security import audit_server_exposure, probe_primitive_properties
-from repro.workloads import IozoneParams, OltpParams, run_iozone, run_oltp
+from repro.experiments.sweep import Point, sweep
+from repro.security import probe_primitive_properties
 
 __all__ = [
     "ExperimentResult",
@@ -41,6 +45,8 @@ class ExperimentResult:
     headers: list[str]
     rows: list[list]
     paper_reference: str
+    #: total simulator events stepped across every point (bench metric).
+    events: int = 0
 
     def table(self) -> str:
         return format_table(self.headers, self.rows)
@@ -56,8 +62,12 @@ def _ops(scale: str, quick: int, full: int) -> int:
     return quick if scale == "quick" else full
 
 
+def _events(results: list[dict]) -> int:
+    return sum(r["events"] for r in results)
+
+
 # ---------------------------------------------------------------- Table 1
-def run_table1(scale: str = "quick") -> ExperimentResult:
+def run_table1(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
     """Table 1: communication-primitive properties, probed live."""
     rows = [
         [p.primitive,
@@ -79,23 +89,32 @@ def run_table1(scale: str = "quick") -> ExperimentResult:
     )
 
 
-# ---------------------------------------------------------------- Fig 5
-def run_fig5(scale: str = "quick") -> ExperimentResult:
-    """Fig 5: IOzone READ bandwidth, Solaris, Read-Read vs Read-Write."""
+# ---------------------------------------------------------------- Fig 5 / 6
+def _solaris_iozone_points(scale: str) -> list[tuple[str, int, Point]]:
+    """The shared Fig 5/6 grid: (series label, threads, point)."""
     ops = _ops(scale, 40, 120)
     threads_list = (1, 2, 4, 8) if scale == "quick" else (1, 2, 3, 4, 5, 6, 7, 8)
-    rows = []
+    grid = []
     for record in (128 * 1024, 1 << 20):
         for design, label in (("rdma-rr", "RR"), ("rdma-rw", "RW")):
             for threads in threads_list:
-                cluster = Cluster(ClusterConfig(
-                    transport=design, strategy="dynamic", profile=SOLARIS_SDR))
-                result = run_iozone(cluster, IozoneParams(
-                    nthreads=threads, record_bytes=record, ops_per_thread=ops))
-                rows.append([
+                grid.append((
                     f"{label}-{record // 1024}K", threads,
-                    round(result.read_mb_s, 1),
-                ])
+                    Point(kind="iozone",
+                          cluster={"transport": design, "strategy": "dynamic",
+                                   "profile": "solaris-sdr"},
+                          params={"nthreads": threads, "record_bytes": record,
+                                  "ops_per_thread": ops}),
+                ))
+    return grid
+
+
+def run_fig5(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
+    """Fig 5: IOzone READ bandwidth, Solaris, Read-Read vs Read-Write."""
+    grid = _solaris_iozone_points(scale)
+    results = sweep([p for _, _, p in grid], jobs)
+    rows = [[series, threads, round(r["read_mb_s"], 1)]
+            for (series, threads, _), r in zip(grid, results)]
     return ExperimentResult(
         experiment="Fig 5: IOzone Read Bandwidth on Solaris (RR vs RW)",
         headers=["series", "threads", "read MB/s"],
@@ -105,27 +124,17 @@ def run_fig5(scale: str = "quick") -> ExperimentResult:
             "thread/128K shrinking to ~5% at 8 threads; record size barely "
             "matters"
         ),
+        events=_events(results),
     )
 
 
-# ---------------------------------------------------------------- Fig 6
-def run_fig6(scale: str = "quick") -> ExperimentResult:
+def run_fig6(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
     """Fig 6: IOzone WRITE bandwidth + client CPU, Solaris, RR vs RW."""
-    ops = _ops(scale, 40, 120)
-    threads_list = (1, 2, 4, 8) if scale == "quick" else (1, 2, 3, 4, 5, 6, 7, 8)
-    rows = []
-    for record in (128 * 1024, 1 << 20):
-        for design, label in (("rdma-rr", "RR"), ("rdma-rw", "RW")):
-            for threads in threads_list:
-                cluster = Cluster(ClusterConfig(
-                    transport=design, strategy="dynamic", profile=SOLARIS_SDR))
-                result = run_iozone(cluster, IozoneParams(
-                    nthreads=threads, record_bytes=record, ops_per_thread=ops))
-                rows.append([
-                    f"{label}-{record // 1024}K", threads,
-                    round(result.write_mb_s, 1),
-                    round(result.client_cpu_read * 100, 1),
-                ])
+    grid = _solaris_iozone_points(scale)
+    results = sweep([p for _, _, p in grid], jobs)
+    rows = [[series, threads, round(r["write_mb_s"], 1),
+             round(r["client_cpu_read"] * 100, 1)]
+            for (series, threads, _), r in zip(grid, results)]
     return ExperimentResult(
         experiment="Fig 6: IOzone Write Bandwidth on Solaris + client CPU",
         headers=["series", "threads", "write MB/s", "client CPU % (read)"],
@@ -134,27 +143,40 @@ def run_fig6(scale: str = "quick") -> ExperimentResult:
             "write paths nearly identical (both RDMA-Read based, bounded by "
             "read serialization); client CPU: RR 4%->24%, RW flat 2%->5%"
         ),
+        events=_events(results),
     )
 
 
-# ---------------------------------------------------------------- Fig 7
-def run_fig7(scale: str = "quick") -> ExperimentResult:
-    """Fig 7: registration strategies on OpenSolaris (read + write)."""
+# ---------------------------------------------------------------- Fig 7 / 9
+def _strategy_iozone_points(scale: str, strategies, profile: str):
     ops = _ops(scale, 40, 120)
     threads_list = (1, 2, 4, 8) if scale == "quick" else (1, 2, 3, 4, 5, 6, 7, 8)
-    rows = []
-    for strategy, label in (("dynamic", "Register"), ("fmr", "FMR"),
-                            ("cache", "Cache")):
+    grid = []
+    for strategy, label in strategies:
         for threads in threads_list:
-            cluster = Cluster(ClusterConfig(
-                transport="rdma-rw", strategy=strategy, profile=SOLARIS_SDR))
-            result = run_iozone(cluster, IozoneParams(
-                nthreads=threads, record_bytes=128 * 1024, ops_per_thread=ops))
-            rows.append([
-                f"RW-{label}-Solaris", threads,
-                round(result.read_mb_s, 1), round(result.write_mb_s, 1),
-                round(result.client_cpu_read * 100, 1),
-            ])
+            grid.append((
+                label, threads,
+                Point(kind="iozone",
+                      cluster={"transport": "rdma-rw", "strategy": strategy,
+                               "profile": profile},
+                      params={"nthreads": threads, "record_bytes": 128 * 1024,
+                              "ops_per_thread": ops}),
+            ))
+    return grid
+
+
+def run_fig7(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
+    """Fig 7: registration strategies on OpenSolaris (read + write)."""
+    grid = _strategy_iozone_points(
+        scale,
+        (("dynamic", "Register"), ("fmr", "FMR"), ("cache", "Cache")),
+        "solaris-sdr",
+    )
+    results = sweep([p for _, _, p in grid], jobs)
+    rows = [[f"RW-{label}-Solaris", threads,
+             round(r["read_mb_s"], 1), round(r["write_mb_s"], 1),
+             round(r["client_cpu_read"] * 100, 1)]
+            for (label, threads, _), r in zip(grid, results)]
     return ExperimentResult(
         experiment="Fig 7: IOzone bandwidth by registration strategy (Solaris)",
         headers=["series", "threads", "read MB/s", "write MB/s", "client CPU %"],
@@ -163,57 +185,22 @@ def run_fig7(scale: str = "quick") -> ExperimentResult:
             "read: Register ~350, FMR ~400, Cache ~730 MB/s; write: FMR "
             "modest, Cache ~515 MB/s (bounded by RDMA Read serialization)"
         ),
+        events=_events(results),
     )
 
 
-# ---------------------------------------------------------------- Fig 8
-def run_fig8(scale: str = "quick") -> ExperimentResult:
-    """Fig 8: FileBench OLTP ops/s and CPU/op by strategy."""
-    readers_list = (10, 50, 100) if scale == "quick" else (10, 25, 50, 100, 150, 200)
-    ops = _ops(scale, 4, 8)
-    rows = []
-    for strategy, label in (("dynamic", "Register"), ("fmr", "FMR"),
-                            ("cache", "Cache")):
-        for readers in readers_list:
-            cluster = Cluster(ClusterConfig(
-                transport="rdma-rw", strategy=strategy, profile=SOLARIS_SDR))
-            result = run_oltp(cluster, OltpParams(
-                readers=readers, writers=max(2, readers // 5), log_writers=1,
-                datafile_bytes=16 << 20, ops_per_thread=ops))
-            rows.append([
-                label, readers, round(result.ops_per_s),
-                round(result.client_cpu_us_per_op, 1),
-            ])
-    return ExperimentResult(
-        experiment="Fig 8: FileBench OLTP performance by strategy",
-        headers=["strategy", "readers", "ops/s", "client CPU us/op"],
-        rows=rows,
-        paper_reference=(
-            "registration cache improves throughput up to ~50% over dynamic "
-            "registration; FMR comparable to dynamic; CPU/op slightly higher "
-            "for cache"
-        ),
-    )
-
-
-# ---------------------------------------------------------------- Fig 9
-def run_fig9(scale: str = "quick") -> ExperimentResult:
+def run_fig9(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
     """Fig 9: registration strategies on Linux (read + write)."""
-    ops = _ops(scale, 40, 120)
-    threads_list = (1, 2, 4, 8) if scale == "quick" else (1, 2, 3, 4, 5, 6, 7, 8)
-    rows = []
-    for strategy, label in (("dynamic", "Register"), ("fmr", "FMR"),
-                            ("all-physical", "All-Physical")):
-        for threads in threads_list:
-            cluster = Cluster(ClusterConfig(
-                transport="rdma-rw", strategy=strategy, profile=LINUX_SDR))
-            result = run_iozone(cluster, IozoneParams(
-                nthreads=threads, record_bytes=128 * 1024, ops_per_thread=ops))
-            rows.append([
-                f"RW-{label}-Linux", threads,
-                round(result.read_mb_s, 1), round(result.write_mb_s, 1),
-                round(result.client_cpu_read * 100, 1),
-            ])
+    grid = _strategy_iozone_points(
+        scale,
+        (("dynamic", "Register"), ("fmr", "FMR"), ("all-physical", "All-Physical")),
+        "linux-sdr",
+    )
+    results = sweep([p for _, _, p in grid], jobs)
+    rows = [[f"RW-{label}-Linux", threads,
+             round(r["read_mb_s"], 1), round(r["write_mb_s"], 1),
+             round(r["client_cpu_read"] * 100, 1)]
+            for (label, threads, _), r in zip(grid, results)]
     return ExperimentResult(
         experiment="Fig 9: IOzone bandwidth by registration strategy (Linux)",
         headers=["series", "threads", "read MB/s", "write MB/s", "client CPU %"],
@@ -223,6 +210,43 @@ def run_fig9(scale: str = "quick") -> ExperimentResult:
             "All-Physical degrades below FMR (no scatter/gather -> more read "
             "chunks -> IRD/ORD limit)"
         ),
+        events=_events(results),
+    )
+
+
+# ---------------------------------------------------------------- Fig 8
+def run_fig8(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
+    """Fig 8: FileBench OLTP ops/s and CPU/op by strategy."""
+    readers_list = (10, 50, 100) if scale == "quick" else (10, 25, 50, 100, 150, 200)
+    ops = _ops(scale, 4, 8)
+    grid = []
+    for strategy, label in (("dynamic", "Register"), ("fmr", "FMR"),
+                            ("cache", "Cache")):
+        for readers in readers_list:
+            grid.append((
+                label, readers,
+                Point(kind="oltp",
+                      cluster={"transport": "rdma-rw", "strategy": strategy,
+                               "profile": "solaris-sdr"},
+                      params={"readers": readers,
+                              "writers": max(2, readers // 5),
+                              "log_writers": 1, "datafile_bytes": 16 << 20,
+                              "ops_per_thread": ops}),
+            ))
+    results = sweep([p for _, _, p in grid], jobs)
+    rows = [[label, readers, round(r["ops_per_s"]),
+             round(r["client_cpu_us_per_op"], 1)]
+            for (label, readers, _), r in zip(grid, results)]
+    return ExperimentResult(
+        experiment="Fig 8: FileBench OLTP performance by strategy",
+        headers=["strategy", "readers", "ops/s", "client CPU us/op"],
+        rows=rows,
+        paper_reference=(
+            "registration cache improves throughput up to ~50% over dynamic "
+            "registration; FMR comparable to dynamic; CPU/op slightly higher "
+            "for cache"
+        ),
+        events=_events(results),
     )
 
 
@@ -235,28 +259,33 @@ FIG10_CACHE_SMALL = 4 * FIG10_FILE_BYTES
 FIG10_CACHE_BIG = 8 * FIG10_FILE_BYTES
 
 
-def run_fig10(scale: str = "quick", cache_bytes: Optional[int] = None) -> ExperimentResult:
+def run_fig10(scale: str = "quick", cache_bytes: Optional[int] = None,
+              jobs: int = 1) -> ExperimentResult:
     """Fig 10: multi-client IOzone READ over RDMA vs IPoIB vs GigE."""
     clients_list = (1, 2, 3, 5, 8) if scale == "quick" else tuple(range(1, 9))
     caches = ([cache_bytes] if cache_bytes is not None
               else [FIG10_CACHE_SMALL, FIG10_CACHE_BIG])
-    rows = []
+    grid = []
     for cache in caches:
         cache_label = f"{cache / FIG10_FILE_BYTES:.0f}x-file-cache"
         for transport, label in (("rdma-rw", "RDMA"), ("tcp-ipoib", "IPoIB"),
                                  ("tcp-gige", "GigE")):
             strategy = "all-physical" if transport == "rdma-rw" else "dynamic"
             for nclients in clients_list:
-                cluster = Cluster(ClusterConfig(
-                    transport=transport, strategy=strategy,
-                    backend="raid", cache_bytes=cache,
-                    nclients=nclients, profile=LINUX_DDR_RAID))
-                result = run_iozone(cluster, IozoneParams(
-                    nthreads=1, record_bytes=1 << 20,
-                    file_bytes=FIG10_FILE_BYTES, ops_per_thread=None))
-                rows.append([
-                    label, cache_label, nclients, round(result.read_mb_s, 1),
-                ])
+                grid.append((
+                    label, cache_label, nclients,
+                    Point(kind="iozone",
+                          cluster={"transport": transport, "strategy": strategy,
+                                   "backend": "raid", "cache_bytes": cache,
+                                   "nclients": nclients,
+                                   "profile": "linux-ddr-raid"},
+                          params={"nthreads": 1, "record_bytes": 1 << 20,
+                                  "file_bytes": FIG10_FILE_BYTES,
+                                  "ops_per_thread": None}),
+                ))
+    results = sweep([p for _, _, _, p in grid], jobs)
+    rows = [[label, cache_label, nclients, round(r["read_mb_s"], 1)]
+            for (label, cache_label, nclients, _), r in zip(grid, results)]
     return ExperimentResult(
         experiment="Fig 10: Multi-client IOzone Read (RDMA vs IPoIB vs GigE)",
         headers=["transport", "server cache", "clients", "aggregate read MB/s"],
@@ -266,26 +295,25 @@ def run_fig10(scale: str = "quick", cache_bytes: Optional[int] = None) -> Experi
             "bandwidth; IPoIB ~326; GigE ~107 falling. 8GB: RDMA >900 MB/s "
             "through 7 clients; IPoIB ~360"
         ),
+        events=_events(results),
     )
 
 
 # ---------------------------------------------------------------- security
-def run_security_audit(scale: str = "quick") -> ExperimentResult:
+def run_security_audit(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
     """§4.1 exposure comparison: attack surface of RR vs RW under load."""
-    rows = []
-    for transport in ("rdma-rr", "rdma-rw"):
-        cluster = Cluster(ClusterConfig(transport=transport))
-        run_iozone(cluster, IozoneParams(nthreads=4, ops_per_thread=20))
-        cluster.sim.run(until=cluster.sim.now + 100_000.0)
-        report = audit_server_exposure(cluster.server_node,
-                                       cluster.server_transports)
-        rows.append([
-            transport,
-            report["stags_exposed_ever"],
-            report["exposed_regions_now"],
-            report["pending_done_ops"],
-            report["protection_faults"],
-        ])
+    grid = [
+        (transport,
+         Point(kind="security",
+               cluster={"transport": transport},
+               params={"nthreads": 4, "ops_per_thread": 20}))
+        for transport in ("rdma-rr", "rdma-rw")
+    ]
+    results = sweep([p for _, p in grid], jobs)
+    rows = [[transport,
+             r["stags_exposed_ever"], r["exposed_regions_now"],
+             r["pending_done_ops"], r["protection_faults"]]
+            for (transport, _), r in zip(grid, results)]
     return ExperimentResult(
         experiment="Security audit (§4.1): server attack surface under IOzone",
         headers=["design", "server stags exposed (ever)", "exposed now",
@@ -295,4 +323,5 @@ def run_security_audit(scale: str = "quick") -> ExperimentResult:
             "Read-Read exposes a server window per bulk reply and depends on "
             "client DONEs; Read-Write exposes zero server stags, ever"
         ),
+        events=_events(results),
     )

@@ -102,12 +102,31 @@ cluster seed and the plan seed (both default 2007).  Re-running
 identical run, fault for fault.
 """
 
+BENCH_RECIPE = """\
+## Benchmarking the simulator itself
 
-def generate(scale: str = "quick") -> str:
+The tables above measure the *simulated* cluster; to measure the
+simulator, run:
+
+```
+PYTHONPATH=src python -m repro bench --scale quick --jobs "$(nproc)"
+```
+
+This times every figure runner and writes `BENCH_fig{5..10}.json`
+(wall seconds, simulator events stepped, events/sec).  CI runs the
+same command as a smoke job with a wall-clock budget and archives the
+JSON artifacts.  `--jobs N` parallelises the independent figure points
+across worker processes with bit-identical tables (DESIGN.md §8);
+comparing `--jobs 1` against `--jobs N` output is itself a determinism
+check.
+"""
+
+
+def generate(scale: str = "quick", jobs: int = 1) -> str:
     sections = [PREAMBLE.format(scale=scale)]
     for runner in ALL_EXPERIMENTS:
         t0 = time.time()
-        result = runner(scale)
+        result = runner(scale, jobs=jobs)
         elapsed = time.time() - t0
         sections.append(
             f"## {result.experiment}\n\n"
@@ -119,6 +138,7 @@ def generate(scale: str = "quick") -> str:
         )
         if runner is run_chaos_soak_table:
             sections.append(CHAOS_RECIPE)
+    sections.append(BENCH_RECIPE)
     return "\n".join(sections)
 
 

@@ -25,6 +25,7 @@ from repro.fs.namespace import NamespaceFs, _Inode
 from repro.fs.pagecache import PageCache, PageKey
 from repro.fs.raid import Raid0
 from repro.osmodel import CPU
+from repro.payload import Payload, PayloadLike, join_parts
 from repro.sim import Simulator
 
 __all__ = ["BlockFs"]
@@ -54,9 +55,11 @@ class BlockFs(NamespaceFs):
         self.cache = PageCache(cache_bytes, page_bytes, name=f"{name}.cache")
         self.page_bytes = page_bytes
         self.extent_bytes = extent_bytes
-        self._zero_page = bytes(page_bytes)
-        self._content: dict[PageKey, bytes] = {}
-        self._intern_pool: dict[bytes, bytes] = {}
+        #: page contents are ``bytes`` or :class:`Payload`, possibly
+        #: shorter than ``page_bytes`` (the missing tail is zero); pages
+        #: that are entirely zero are simply absent.
+        self._content: dict[PageKey, PayloadLike] = {}
+        self._intern_pool: dict = {}
         self._extents: dict[int, list[int]] = {}
         self._next_free = 0
         self.flush_interval_us = flush_interval_us
@@ -76,14 +79,30 @@ class BlockFs(NamespaceFs):
         return extents[extent_index] + (page % pages_per_extent) * self.page_bytes
 
     # -- content ----------------------------------------------------------
-    def _page(self, key: PageKey) -> bytes:
-        return self._content.get(key, self._zero_page)
+    def _page_slice(self, key: PageKey, within: int, take: int) -> PayloadLike:
+        """``take`` bytes of a page starting at ``within``, zero-padded."""
+        page = self._content.get(key)
+        if page is None:
+            return Payload.zeros(take)
+        avail = len(page) - within
+        if avail >= take:
+            return page[within:within + take]
+        if avail <= 0:
+            return Payload.zeros(take)
+        return join_parts([page[within:], Payload.zeros(take - avail)])
 
-    def _store_page(self, key: PageKey, data: bytes) -> None:
-        if data == self._zero_page:
+    def _store_page(self, key: PageKey, data: PayloadLike) -> None:
+        if isinstance(data, Payload):
+            if data.nruns > 32:
+                data = data.tobytes()
+        elif isinstance(data, bytearray):
+            data = bytes(data)
+        zero = data.is_zeros() if isinstance(data, Payload) else not any(data)
+        if zero:
             self._content.pop(key, None)
             return
-        pooled = self._intern_pool.setdefault(data, data)
+        token = data.key() if isinstance(data, Payload) else data
+        pooled = self._intern_pool.setdefault(token, data)
         self._content[key] = pooled
 
     # -- cache/disk interaction ------------------------------------------
@@ -123,12 +142,15 @@ class BlockFs(NamespaceFs):
                 miss_run.append(key)
         if miss_run:
             yield from self._fetch_run(miss_run)
-        parts = []
-        for page in range(first, last + 1):
-            parts.append(self._page((fileid, page)))
-        blob = b"".join(parts) if parts else b""
-        start = offset - first * self.page_bytes
-        data = blob[start : start + length]
+        parts: list[PayloadLike] = []
+        pos = offset
+        stop = offset + length
+        while pos < stop:
+            page, within = divmod(pos, self.page_bytes)
+            take = min(self.page_bytes - within, stop - pos)
+            parts.append(self._page_slice((fileid, page), within, take))
+            pos += take
+        data = join_parts(parts)
         yield from self.cpu.copy(len(data))
         inode.attrs.atime = self.sim.now
         return data, offset + length >= inode.attrs.size
@@ -149,27 +171,28 @@ class BlockFs(NamespaceFs):
         yield from self.cpu.copy(len(data))
         end = offset + len(data)
         pos = offset
-        remaining = data
-        while remaining:
-            page = pos // self.page_bytes
-            within = pos % self.page_bytes
-            take = min(self.page_bytes - within, len(remaining))
+        while pos < end:
+            page, within = divmod(pos, self.page_bytes)
+            take = min(self.page_bytes - within, end - pos)
             key = (fileid, page)
+            chunk = data[pos - offset: pos - offset + take]
             if take == self.page_bytes:
-                new_page = bytes(remaining[:take])
+                new_page = chunk
             else:
                 # Read-modify-write a partial page (fetch if not resident
                 # and previously written).
                 if not self.cache.touch(key) and key in self._content:
                     yield from self.raid.read(self._disk_offset(key), self.page_bytes)
-                old = bytearray(self._page(key))
-                old[within : within + take] = remaining[:take]
-                new_page = bytes(old)
+                head = self._page_slice(key, 0, within) if within else b""
+                old = self._content.get(key)
+                tail_len = (len(old) if old is not None else 0) - (within + take)
+                tail = (self._page_slice(key, within + take, tail_len)
+                        if tail_len > 0 else b"")
+                new_page = join_parts([head, chunk, tail])
             self._store_page(key, new_page)
             evicted = self.cache.insert(key, dirty=True)
             yield from self._absorb_evictions(evicted)
             pos += take
-            remaining = remaining[take:]
         if end > inode.attrs.size:
             self.used_bytes += end - inode.attrs.size
             inode.attrs.size = end

@@ -21,6 +21,7 @@ from repro.fs.api import (
     FsError,
     FsStat,
 )
+from repro.fs.sparse import SparseFile
 from repro.osmodel import CPU
 from repro.sim import Simulator
 
@@ -30,7 +31,7 @@ __all__ = ["NamespaceFs", "_Inode"]
 @dataclass
 class _Inode:
     attrs: FsAttributes
-    data: bytearray = field(default_factory=bytearray)
+    data: SparseFile = field(default_factory=SparseFile)
     entries: Optional[dict] = None          # name -> fileid (directories)
     target: Optional[str] = None            # symlinks
     parent: int = 0
@@ -239,10 +240,11 @@ class NamespaceFs(FileSystem):
         inode.data.clear()
 
     def _resize_data(self, inode: _Inode, size: int) -> None:
-        """Grow/shrink an inode's data to ``size`` bytes."""
+        """Grow/shrink an inode's data to ``size`` bytes.
+
+        Sparse store: growth just moves the logical length (new bytes
+        are holes), shrink drops whole pages — no zero-fill either way.
+        """
         old = len(inode.data)
-        if size < old:
-            del inode.data[size:]
-        else:
-            inode.data.extend(b"\x00" * (size - old))
+        inode.data.truncate(size)
         self.used_bytes += size - old

@@ -30,14 +30,16 @@ class TmpFs(NamespaceFs):
         if inode.attrs.kind is not FileKind.REGULAR:
             raise FsError("INVAL", "read of non-file")
         yield from self._tick()
-        data = bytes(inode.data[offset : offset + length])
-        # One pass over the data: page-cache -> transport buffer.
+        data = inode.data.read(offset, length)
+        # One pass over the data: page-cache -> transport buffer.  The
+        # simulated memcpy is charged in full even though the host only
+        # moves a payload descriptor.
         yield from self.cpu.copy(len(data))
         inode.attrs.atime = self.sim.now
         eof = offset + length >= len(inode.data)
         return data, eof
 
-    def write(self, fileid: int, offset: int, data: bytes) -> Generator:
+    def write(self, fileid: int, offset: int, data) -> Generator:
         inode = self._get(fileid)
         if inode.attrs.kind is not FileKind.REGULAR:
             raise FsError("INVAL", "write of non-file")
@@ -47,10 +49,9 @@ class TmpFs(NamespaceFs):
         if self.used_bytes + grow > self.capacity_bytes:
             raise FsError("NOSPC", "tmpfs full")
         if grow:
-            inode.data.extend(b"\x00" * grow)
             self.used_bytes += grow
         yield from self.cpu.copy(len(data))
-        inode.data[offset:end] = data
+        inode.data.write(offset, data)
         inode.attrs.size = len(inode.data)
         inode.attrs.mtime = self.sim.now
         return len(data)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator
 
+from repro.payload import join_parts
 from repro.sim import Counter, Resource, Simulator
 from repro.ib.link import DuplexLink, LinkConfig
 from repro.ib.memory import (
@@ -162,19 +163,23 @@ class HCA:
         return wr
 
     # -- local address resolution ---------------------------------------------
-    def _gather(self, segments: list[Segment]) -> bytes:
-        """Read local scatter/gather elements (lkey path)."""
+    def _gather(self, segments: list[Segment]):
+        """Read local scatter/gather elements (lkey path).
+
+        Returns real bytes or a zero-copy payload descriptor — whatever
+        representation the registered memory holds.
+        """
         parts = []
         for seg in segments:
             if seg.stag == GLOBAL_STAG:
                 buf, off = self.arena.resolve(seg.addr, seg.length)
-                parts.append(bytes(buf.data[off : off + seg.length]))
+                parts.append(buf.peek(off, seg.length))
             else:
                 mr = self.tpt.lookup(seg.stag, seg.addr, seg.length, AccessFlags(0))
                 parts.append(mr.read(seg.addr, seg.length))
-        return b"".join(parts)
+        return join_parts(parts)
 
-    def _scatter(self, segments: list[Segment], payload: bytes) -> int:
+    def _scatter(self, segments: list[Segment], payload) -> int:
         """Write ``payload`` across local scatter elements; returns bytes placed."""
         pos = 0
         for seg in segments:
@@ -183,7 +188,7 @@ class HCA:
             take = min(seg.length, len(payload) - pos)
             if seg.stag == GLOBAL_STAG:
                 buf, off = self.arena.resolve(seg.addr, take)
-                buf.data[off : off + take] = payload[pos : pos + take]
+                buf.fill(payload[pos : pos + take], off)
             else:
                 mr = self.tpt.lookup(seg.stag, seg.addr, take, AccessFlags.LOCAL_WRITE)
                 mr.write(seg.addr, payload[pos : pos + take])
@@ -305,7 +310,7 @@ class HCA:
                 # Target-side validation: TPT or (if honoured) the global stag.
                 if wr.remote.stag == GLOBAL_STAG:
                     buf, off = peer_hca.phys.resolve(wr.remote.addr, len(payload))
-                    buf.data[off : off + len(payload)] = payload
+                    buf.fill(payload, off)
                 else:
                     mr = peer_hca.tpt.lookup(
                         wr.remote.stag, wr.remote.addr, len(payload),
@@ -353,7 +358,7 @@ class HCA:
                 try:
                     if wr.remote.stag == GLOBAL_STAG:
                         buf, off = peer_hca.phys.resolve(wr.remote.addr, wr.remote.length)
-                        payload = bytes(buf.data[off : off + wr.remote.length])
+                        payload = buf.peek(off, wr.remote.length)
                     else:
                         mr = peer_hca.tpt.lookup(
                             wr.remote.stag, wr.remote.addr, wr.remote.length,

@@ -58,38 +58,113 @@ class AccessFlags(enum.IntFlag):
 
 
 class MemoryBuffer:
-    """A contiguous allocation in a node's arena (virtually addressed)."""
+    """A contiguous allocation in a node's arena (virtually addressed).
 
-    __slots__ = ("arena", "addr", "data", "pinned_pages")
+    Storage is zero-copy: the backing ``bytearray`` is allocated lazily
+    (an untouched buffer is all zeros and costs nothing), and
+    :class:`~repro.payload.Payload` descriptors written through
+    :meth:`fill` are kept as *overlays* — ``(start, end, payload)``
+    windows that mask the backing bytes — instead of being materialised.
+    :meth:`peek` hands descriptors straight back, so a bulk transfer
+    passes through registered memory without the host ever copying the
+    simulated bytes.  Real-bytes fills and direct ``data`` access
+    behave exactly as before.
+    """
+
+    __slots__ = ("arena", "addr", "length", "pinned_pages", "_data", "_overlays")
 
     def __init__(self, arena: "MemoryArena", addr: int, length: int):
         self.arena = arena
         self.addr = addr
-        self.data = bytearray(length)
+        self.length = length
         self.pinned_pages = 0
-
-    @property
-    def length(self) -> int:
-        return len(self.data)
+        self._data: Optional[bytearray] = None
+        self._overlays: list = []   # sorted disjoint (start, end, Payload)
 
     @property
     def npages(self) -> int:
         return pages_spanned(self.addr, self.length)
 
-    def fill(self, payload: bytes, offset: int = 0) -> None:
-        if offset < 0 or offset + len(payload) > self.length:
+    @property
+    def data(self) -> bytearray:
+        """The backing bytes, with overlays folded in (compat path)."""
+        return self._materialize()
+
+    def _materialize(self) -> bytearray:
+        if self._data is None:
+            self._data = bytearray(self.length)
+        if self._overlays:
+            for start, end, payload in self._overlays:
+                self._data[start:end] = payload.tobytes()
+            self._overlays.clear()
+        return self._data
+
+    def _clip_overlays(self, start: int, end: int) -> None:
+        """Remove overlay coverage of ``[start, end)``, keeping edges."""
+        if not self._overlays:
+            return
+        kept = []
+        for s, e, p in self._overlays:
+            if e <= start or s >= end:
+                kept.append((s, e, p))
+                continue
+            if s < start:
+                kept.append((s, start, p[: start - s]))
+            if e > end:
+                kept.append((end, e, p[end - s:]))
+        self._overlays = kept
+
+    def fill(self, payload, offset: int = 0) -> None:
+        n = len(payload)
+        if offset < 0 or offset + n > self.length:
             raise ValueError(
-                f"fill of {len(payload)} bytes at offset {offset} "
+                f"fill of {n} bytes at offset {offset} "
                 f"overruns buffer of {self.length}"
             )
-        self.data[offset : offset + len(payload)] = payload
+        if n == 0:
+            return
+        from repro.payload import Payload
+        if isinstance(payload, Payload):
+            self._clip_overlays(offset, offset + n)
+            self._overlays.append((offset, offset + n, payload))
+            self._overlays.sort(key=lambda o: o[0])
+            return
+        self._clip_overlays(offset, offset + n)
+        if self._data is None:
+            self._data = bytearray(self.length)
+        self._data[offset : offset + n] = payload
 
-    def peek(self, offset: int = 0, length: Optional[int] = None) -> bytes:
+    def peek(self, offset: int = 0, length: Optional[int] = None):
         if length is None:
             length = self.length - offset
         if offset < 0 or offset + length > self.length:
             raise ValueError("peek out of bounds")
-        return bytes(self.data[offset : offset + length])
+        if length == 0:
+            return b""
+        end = offset + length
+        hits = [o for o in self._overlays if o[0] < end and o[1] > offset]
+        if not hits:
+            if self._data is None:
+                return bytes(length)
+            return bytes(self._data[offset:end])
+        s, e, p = hits[0]
+        if len(hits) == 1 and s <= offset and e >= end:
+            return p[offset - s : end - s]
+        from repro.payload import Payload, join_parts
+        parts = []
+        pos = offset
+        for s, e, p in hits:
+            if s > pos:
+                parts.append(bytes(self._data[pos:s]) if self._data is not None
+                             else Payload.zeros(s - pos))
+            lo = max(pos, s)
+            hi = min(end, e)
+            parts.append(p[lo - s : hi - s])
+            pos = hi
+        if pos < end:
+            parts.append(bytes(self._data[pos:end]) if self._data is not None
+                         else Payload.zeros(end - pos))
+        return join_parts(parts)
 
 
 def pages_spanned(addr: int, length: int) -> int:
@@ -222,13 +297,13 @@ class MemoryRegion:
             )
         return (addr - self.addr) + (self.addr - self.buffer.addr)
 
-    def read(self, addr: int, length: int) -> bytes:
+    def read(self, addr: int, length: int):
         off = self._offset(addr, length)
-        return bytes(self.buffer.data[off : off + length])
+        return self.buffer.peek(off, length)
 
-    def write(self, addr: int, payload: bytes) -> None:
+    def write(self, addr: int, payload) -> None:
         off = self._offset(addr, len(payload))
-        self.buffer.data[off : off + len(payload)] = payload
+        self.buffer.fill(payload, off)
 
     def invalidate(self) -> None:
         """Synchronously drop the mapping (no cost; used by teardown paths)."""

@@ -28,6 +28,7 @@ from repro.fs.api import FsAttributes
 from repro.fs.pagecache import PageCache
 from repro.nfs.client import NfsClient
 from repro.nfs.fh import FileHandle
+from repro.payload import Payload, PayloadLike, join_parts
 from repro.sim import Counter, Simulator
 
 __all__ = ["CachingNfsClient", "ClientCacheConfig", "OpenFile"]
@@ -69,8 +70,9 @@ class CachingNfsClient:
         self._names: dict[tuple[int, str], FileHandle] = {}
         self.pages = PageCache(self.config.data_cache_bytes,
                                self.config.page_bytes, name=f"{name}.data")
-        self._content: dict[tuple[int, int], bytes] = {}
-        self._zero = bytes(self.config.page_bytes)
+        #: cached page contents: ``bytes`` or zero-copy :class:`Payload`
+        #: descriptors, possibly shorter than a page (zero tail implied).
+        self._content: dict[tuple[int, int], PayloadLike] = {}
         self._dirty_bytes = 0
         self.attr_hits = Counter(f"{name}.attr_hits")
         self.attr_misses = Counter(f"{name}.attr_misses")
@@ -149,8 +151,17 @@ class CachingNfsClient:
         self._attrs.pop(handle.fh.fileid, None)
 
     # -- data cache -----------------------------------------------------
-    def _page(self, key) -> bytes:
-        return self._content.get(key, self._zero)
+    def _page_slice(self, key, within: int, take: int) -> PayloadLike:
+        """``take`` bytes of a cached page from ``within``, zero-padded."""
+        page = self._content.get(key)
+        if page is None:
+            return Payload.zeros(take)
+        avail = len(page) - within
+        if avail >= take:
+            return page[within:within + take]
+        if avail <= 0:
+            return Payload.zeros(take)
+        return join_parts([page[within:], Payload.zeros(take - avail)])
 
     def _invalidate_data(self, fileid: int) -> None:
         dropped = self.pages.invalidate(fileid)
@@ -173,9 +184,9 @@ class CachingNfsClient:
             self.read_misses.add()
             data, eof, attrs = yield from self.inner.read(fh, page * pb, pb)
             self._remember_attrs(attrs)
-            if len(data) < pb:
-                data = data + self._zero[len(data):]
-            self._content[key] = bytes(data)
+            if isinstance(data, bytearray):
+                data = bytes(data)
+            self._content[key] = data      # short page ⇒ zero tail implied
             for evicted_key, was_dirty in self.pages.insert(key):
                 if was_dirty:
                     yield from self._writeback(evicted_key)
@@ -184,10 +195,15 @@ class CachingNfsClient:
             if eof:
                 eof_size = attrs.size
                 break
-        parts = [self._page((fh.fileid, p)) for p in range(first, last + 1)]
-        blob = b"".join(parts)
-        start = offset - first * pb
-        data = blob[start : start + count]
+        parts: list[PayloadLike] = []
+        pos = offset
+        stop = offset + count
+        while pos < stop:
+            page, within = divmod(pos, pb)
+            take = min(pb - within, stop - pos)
+            parts.append(self._page_slice((fh.fileid, page), within, take))
+            pos += take
+        data = join_parts(parts)
         size = eof_size
         if size is None:
             attrs = yield from self.getattr(fh)
@@ -200,24 +216,31 @@ class CachingNfsClient:
         """Write-back: dirty the cache; flush at the dirty limit/close."""
         fh = handle.fh
         pb = self.config.page_bytes
+        end = offset + len(data)
         pos = offset
-        remaining = data
-        while remaining:
-            page = pos // pb
-            within = pos % pb
-            take = min(pb - within, len(remaining))
+        while pos < end:
+            page, within = divmod(pos, pb)
+            take = min(pb - within, end - pos)
             key = (fh.fileid, page)
+            chunk = data[pos - offset: pos - offset + take]
             if take == pb:
-                new_page = bytes(remaining[:take])
+                new_page = chunk
             else:
                 if not self.pages.is_resident(key):
                     # Read-modify-write against the server copy.
                     got, _, _ = yield from self.inner.read(fh, page * pb, pb)
-                    base = bytearray(got + self._zero[len(got):])
-                else:
-                    base = bytearray(self._page(key))
-                base[within : within + take] = remaining[:take]
-                new_page = bytes(base)
+                    self._content[key] = (bytes(got) if isinstance(got, bytearray)
+                                          else got)
+                head = self._page_slice(key, 0, within) if within else b""
+                old = self._content.get(key)
+                tail_len = (len(old) if old is not None else 0) - (within + take)
+                tail = (self._page_slice(key, within + take, tail_len)
+                        if tail_len > 0 else b"")
+                new_page = join_parts([head, chunk, tail])
+            if isinstance(new_page, bytearray):
+                new_page = bytes(new_page)
+            if isinstance(new_page, Payload) and new_page.nruns > 32:
+                new_page = new_page.tobytes()
             self._content[key] = new_page
             for evicted_key, was_dirty in self.pages.insert(key, dirty=True):
                 if was_dirty:
@@ -226,7 +249,6 @@ class CachingNfsClient:
                     self._content.pop(evicted_key, None)
             self._dirty_bytes += pb
             pos += take
-            remaining = remaining[take:]
         handle.dirty = True
         new_size = max(handle.attrs.size, offset + len(data))
         handle.attrs.size = new_size

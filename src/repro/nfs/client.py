@@ -24,6 +24,7 @@ from repro.nfs.protocol import (
     decode_fattr,
     decode_fsstat,
 )
+from repro.payload import join_parts
 from repro.rpc.msg import RpcCall
 from repro.rpc.transport import RpcClientTransport
 from repro.rpc.xdr import XdrDecoder, XdrEncoder
@@ -303,7 +304,7 @@ class NfsClient:
             remaining -= len(data)
             if not data:
                 break
-        return b"".join(parts), eof
+        return join_parts(parts), eof
 
     def write_large(self, fh: FileHandle, offset: int, data: bytes,
                     limit: int = 1 << 20, stable: bool = False,

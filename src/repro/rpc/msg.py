@@ -141,19 +141,45 @@ def _aligned(data: bytes) -> bytes:
 
 import struct as _struct
 
+from repro.payload import Payload
+
 _FRAME_LEN = _struct.Struct(">I")
 
 
-def frame_message(header: bytes, payload: Optional[bytes]) -> bytes:
+def frame_message(header: bytes, payload) -> "bytes | Payload":
     """``[u32 header_len][header][bulk]`` — the byte-count-equivalent
-    stand-in for XDR-inline bulk encoding, shared by every transport."""
-    return _FRAME_LEN.pack(len(header)) + header + (payload or b"")
+    stand-in for XDR-inline bulk encoding, shared by every transport.
+
+    Headers are always real bytes; bulk may be a zero-copy
+    :class:`~repro.payload.Payload`, in which case the framed message
+    stays a payload descriptor (the simulated wire only needs its
+    length) instead of materialising the bulk bytes.
+    """
+    prefix = _FRAME_LEN.pack(len(header)) + header
+    if not payload:
+        return prefix
+    if isinstance(payload, Payload):
+        return Payload.concat((prefix, payload))
+    return prefix + payload
 
 
-def unframe_message(message: bytes) -> tuple[bytes, Optional[bytes]]:
-    """Inverse of :func:`frame_message`."""
+def unframe_message(message) -> tuple[bytes, "Optional[bytes | Payload]"]:
+    """Inverse of :func:`frame_message`.
+
+    The returned header is always materialised bytes (decoders index
+    into it); the bulk payload keeps whatever representation it rode in
+    with.
+    """
     if len(message) < 4:
         raise RpcError("short RPC record")
+    if isinstance(message, Payload):
+        head = message[0:4].tobytes()
+        (hlen,) = _FRAME_LEN.unpack(head)
+        if 4 + hlen > len(message):
+            raise RpcError("RPC record header overruns message")
+        header = message[4:4 + hlen].tobytes()
+        payload = message[4 + hlen:] or None
+        return header, payload
     (hlen,) = _FRAME_LEN.unpack_from(message)
     if 4 + hlen > len(message):
         raise RpcError("RPC record header overruns message")

@@ -30,6 +30,12 @@ def _pad(n: int) -> int:
     return (4 - n % 4) % 4
 
 
+#: Shared padding table: XDR alignment needs at most 3 zero bytes, so
+#: index by ``length & 3`` instead of allocating ``b"\x00" * pad`` on
+#: every opaque (a measurable per-call allocation in the seed profile).
+_PADDING = (b"", b"\x00\x00\x00", b"\x00\x00", b"\x00")
+
+
 class XdrEncoder:
     """Append-only XDR byte builder."""
 
@@ -69,15 +75,18 @@ class XdrEncoder:
     # -- composites -----------------------------------------------------------
     def opaque(self, data: bytes) -> "XdrEncoder":
         """Variable-length opaque: length prefix + data + pad."""
-        self.u32(len(data))
-        self._push(bytes(data))
-        return self._push(b"\x00" * _pad(len(data)))
+        n = len(data)
+        self.u32(n)
+        self._push(data if isinstance(data, bytes) else bytes(data))
+        pad = _PADDING[n & 3]
+        return self._push(pad) if pad else self
 
     def fixed_opaque(self, data: bytes, size: int) -> "XdrEncoder":
         if len(data) != size:
             raise XdrError(f"fixed opaque of {len(data)} bytes, expected {size}")
-        self._push(bytes(data))
-        return self._push(b"\x00" * _pad(size))
+        self._push(data if isinstance(data, bytes) else bytes(data))
+        pad = _PADDING[size & 3]
+        return self._push(pad) if pad else self
 
     def string(self, text: str) -> "XdrEncoder":
         return self.opaque(text.encode("utf-8"))

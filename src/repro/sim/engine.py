@@ -114,6 +114,25 @@ class Event:
         return f"<{type(self).__name__} {state} at t={self.sim.now:.3f}>"
 
 
+class _Wakeup:
+    """Minimal pre-triggered carrier for process boot and interrupt.
+
+    Duck-types the slice of the :class:`Event` surface the scheduler
+    touches (``callbacks``/``_ok``/``_value``/``_defused``/``_processed``)
+    without the full Event construction cost — these are allocated once
+    per process, on the engine's hottest path.
+    """
+
+    __slots__ = ("callbacks", "_value", "_ok", "_defused", "_processed")
+
+    def __init__(self, callback, value: Any = None, ok: bool = True):
+        self.callbacks = [callback]
+        self._value = value
+        self._ok = ok
+        self._defused = not ok
+        self._processed = False
+
+
 class Timeout(Event):
     """An event that fires ``delay`` microseconds after creation."""
 
@@ -122,11 +141,16 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        # Inlined Event.__init__ + trigger: a timeout is born fired, so
+        # skip the un-triggered intermediate state entirely.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
         sim._schedule(self, delay)
 
 
@@ -148,12 +172,10 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        # Bootstrap: resume once at the current instant.
-        boot = Event(sim)
-        boot._triggered = True
-        boot._ok = True
+        # Bootstrap: resume once at the current instant (same heap slot
+        # and seq a full boot Event would consume, minus its allocation).
+        boot = _Wakeup(self._resume)
         sim._schedule(boot, 0.0)
-        boot.callbacks.append(self._resume)
         self._waiting_on = boot
 
     @property
@@ -171,13 +193,8 @@ class Process(Event):
         if target.callbacks is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
         self._waiting_on = None
-        carrier = Event(self.sim)
-        carrier._triggered = True
-        carrier._ok = False
-        carrier._value = Interrupt(cause)
-        carrier._defused = True
+        carrier = _Wakeup(self._resume, Interrupt(cause), ok=False)
         self.sim._schedule(carrier, 0.0)
-        carrier.callbacks.append(self._resume)
         self._waiting_on = carrier
 
     # -- internal -------------------------------------------------------
@@ -294,6 +311,9 @@ class Simulator:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: total events processed — the simulator's own work metric,
+        #: reported by ``python -m repro bench`` as events/sec.
+        self.steps = 0
 
     # -- construction helpers -------------------------------------------
     def event(self) -> Event:
@@ -319,10 +339,11 @@ class Simulator:
         self._seq += 1
 
     # -- execution --------------------------------------------------------
-    def step(self) -> None:
+    def step(self, _heappop=heapq.heappop) -> None:
         """Process the single next event in the schedule."""
-        when, _, event = heapq.heappop(self._queue)
+        when, _, event = _heappop(self._queue)
         self.now = when
+        self.steps += 1
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
@@ -337,22 +358,34 @@ class Simulator:
         """Run until the queue drains or simulated time reaches ``until``."""
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        queue = self._queue
+        step = self.step
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self.now = until
                 return
-            self.step()
+            step()
         if until is not None:
             self.now = until
 
     def run_until_complete(self, process: Process, limit: float = float("inf")) -> Any:
         """Run until ``process`` finishes; return its value or raise its error."""
-        while not process.triggered:
-            if not self._queue:
-                raise SimulationError(f"deadlock: {process.name!r} never completed")
-            if self._queue[0][0] > limit:
-                raise SimulationError(f"time limit {limit} exceeded waiting for {process.name!r}")
-            self.step()
+        queue = self._queue
+        step = self.step
+        if limit == float("inf"):
+            # Hot path: no time-limit comparison per event.
+            while not process._triggered:
+                if not queue:
+                    raise SimulationError(f"deadlock: {process.name!r} never completed")
+                step()
+        else:
+            while not process._triggered:
+                if not queue:
+                    raise SimulationError(f"deadlock: {process.name!r} never completed")
+                if queue[0][0] > limit:
+                    raise SimulationError(
+                        f"time limit {limit} exceeded waiting for {process.name!r}")
+                step()
         if not process.ok:
             raise process.value
         return process.value

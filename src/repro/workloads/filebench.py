@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.cluster import Cluster
+from repro.payload import Payload
 from repro.sim import AllOf, DeterministicRNG
 
 __all__ = ["OltpParams", "OltpResult", "run_oltp"]
@@ -59,7 +60,7 @@ def run_oltp(cluster: Cluster, params: OltpParams) -> OltpResult:
         data_fh, _ = yield from nfs.create(nfs.root, "oltp.datafile")
         # Prime the datafile so reads hit real bytes; write in big strides.
         stride = 1 << 20
-        block = bytes(range(256)) * (stride // 256)
+        block = Payload.tile(bytes(range(256)), stride)
         pos = 0
         while pos < params.datafile_bytes:
             yield from nfs.write(data_fh, pos, block)
@@ -83,17 +84,17 @@ def run_oltp(cluster: Cluster, params: OltpParams) -> OltpResult:
 
     def writer(tid: int):
         trng = rng.child(f"w{tid}")
-        payload_base = bytes(range(256)) * (params.mean_io_bytes * 4 // 256)
+        pattern = bytes(range(256))
         for _ in range(params.ops_per_thread):
             size = _io_size(trng, params.mean_io_bytes)
             offset = trng.integers(0, max(1, (max_off - size) // 4096)) * 4096
-            yield from nfs.write(data_fh, offset, payload_base[:size])
+            yield from nfs.write(data_fh, offset, Payload.tile(pattern, size))
             stats["ops"] += 1
             stats["written"] += size
 
     def log_writer(tid: int):
         pos = 0
-        payload = bytes(params.log_append_bytes)
+        payload = Payload.zeros(params.log_append_bytes)
         for _ in range(params.ops_per_thread):
             yield from nfs.write(log_fh, pos, payload, stable=True)
             pos += params.log_append_bytes

@@ -20,6 +20,7 @@ from typing import Generator, Optional
 
 from repro.analysis.latency import LatencyRecorder, LatencySummary
 from repro.experiments.cluster import Cluster, Mount
+from repro.payload import Payload
 from repro.sim import AllOf
 
 __all__ = ["IozoneParams", "IozoneResult", "run_iozone"]
@@ -46,9 +47,9 @@ class IozoneParams:
             return total
         return min(total, self.ops_per_thread)
 
-    def record_payload(self) -> bytes:
-        reps = -(-self.record_bytes // len(self.pattern))
-        return (self.pattern * reps)[: self.record_bytes]
+    def record_payload(self) -> Payload:
+        """The record as a zero-copy pattern descriptor (never expanded)."""
+        return Payload.tile(self.pattern, self.record_bytes)
 
 
 @dataclass

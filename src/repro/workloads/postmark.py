@@ -17,6 +17,7 @@ from typing import Generator, Optional
 from repro.analysis.latency import LatencyRecorder, LatencySummary
 from repro.experiments.cluster import Cluster
 from repro.nfs.cache import CachingNfsClient, ClientCacheConfig
+from repro.payload import Payload
 from repro.sim import AllOf, DeterministicRNG
 
 __all__ = ["PostmarkParams", "PostmarkResult", "run_postmark"]
@@ -82,7 +83,7 @@ def run_postmark(cluster: Cluster, params: PostmarkParams) -> PostmarkResult:
             name = fresh_name()
             fh, _ = yield from nfs.create(d, name)
             size = file_size(srng)
-            yield from nfs.write(fh, 0, bytes(size))
+            yield from nfs.write(fh, 0, Payload.zeros(size))
             stats["written"] += size
             pool.append((name, fh))
         return d
@@ -107,7 +108,7 @@ def run_postmark(cluster: Cluster, params: PostmarkParams) -> PostmarkResult:
                 name = fresh_name()
                 fh, _ = yield from nfs.create(directory, name)
                 size = file_size(trng)
-                yield from nfs.write(fh, 0, bytes(size))
+                yield from nfs.write(fh, 0, Payload.zeros(size))
                 stats["written"] += size
                 stats["created"] += 1
                 pool.append((name, fh))
