@@ -6,6 +6,8 @@
     python -m repro run fig5 [--scale quick|full] [--jobs N]
     python -m repro report [--scale quick|full] [--jobs N] [--output EXPERIMENTS.md]
     python -m repro bench [--scale quick|full] [--jobs N] [--output-dir .]
+    python -m repro stats --figure fig5 --quick [--point N]
+    python -m repro trace --figure fig5 --quick --out trace.json
     python -m repro iozone --transport rdma-rw --strategy cache --threads 8
     python -m repro oltp --strategy cache --readers 50
     python -m repro postmark --transactions 400 [--client-cache]
@@ -175,6 +177,42 @@ def cmd_oltp(args) -> int:
     return 0
 
 
+def _telemetry_point(args):
+    """Build one figure point's cluster with telemetry on, then run it."""
+    from repro.experiments.figures import figure_grid
+    from repro.experiments.sweep import _build_cluster, run_point
+
+    scale = "quick" if args.quick else args.scale
+    grid = figure_grid(args.figure, scale)
+    if not 0 <= args.point < len(grid):
+        raise SystemExit(
+            f"--point must be in [0, {len(grid)}) for {args.figure}/{scale}"
+        )
+    label, point = grid[args.point]
+    cluster = _build_cluster({**point.cluster, "telemetry": True})
+    run_point(point, cluster=cluster)
+    return label, cluster
+
+
+def cmd_stats(args) -> int:
+    from repro.telemetry.nfsstat import render_stats
+
+    label, cluster = _telemetry_point(args)
+    print(f"== {args.figure} point {args.point} ({label}) ==")
+    print(render_stats(cluster))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    label, cluster = _telemetry_point(args)
+    tracer = cluster.telemetry.tracer
+    tracer.write_chrome(args.out)
+    print(f"{args.figure} point {args.point} ({label}): "
+          f"{len(tracer.spans)} spans, {len(tracer.instants)} instants "
+          f"-> {args.out}")
+    return 0
+
+
 def cmd_postmark(args) -> int:
     cluster = _cluster(args)
     result = run_postmark(cluster, PostmarkParams(
@@ -214,6 +252,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--output-dir", default=".")
     p.set_defaults(fn=cmd_bench)
+
+    def _add_point_args(p):
+        p.add_argument("--figure", choices=("fig5", "fig6", "fig7", "fig9"),
+                       default="fig5")
+        p.add_argument("--scale", choices=("quick", "full"), default="quick")
+        p.add_argument("--quick", action="store_true",
+                       help="force the quick grid (alias for --scale quick)")
+        p.add_argument("--point", type=int, default=0,
+                       help="index into the figure's point grid (default 0)")
+
+    p = sub.add_parser("stats",
+                       help="nfsstat-style report for one figure point")
+    _add_point_args(p)
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("trace",
+                       help="Chrome trace_event JSON for one figure point")
+    _add_point_args(p)
+    p.add_argument("--out", default="trace.json")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("iozone", help="IOzone-style bandwidth run")
     _add_cluster_args(p)

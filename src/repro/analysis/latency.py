@@ -48,11 +48,24 @@ class LatencyRecorder:
         if latency_us < 0:
             raise ValueError(f"negative latency {latency_us}")
         if self._count == len(self._values):
-            self._values = np.concatenate(
-                [self._values, np.empty(len(self._values), dtype=np.float64)]
-            )
+            self._grow(2 * max(1, len(self._values)))
         self._values[self._count] = latency_us
         self._count += 1
+
+    def _grow(self, capacity: int) -> None:
+        """Amortized growth without the concatenate-and-copy round trip.
+
+        ``ndarray.resize`` extends the buffer in place when the allocator
+        permits.  ``refcheck`` must stay on: the ``values`` property hands
+        out views, and resizing under a live view would dangle it — in
+        that case fall back to one explicit copy.
+        """
+        try:
+            self._values.resize(capacity, refcheck=True)
+        except ValueError:
+            grown = np.empty(capacity, dtype=np.float64)
+            grown[: self._count] = self._values[: self._count]
+            self._values = grown
 
     def __len__(self) -> int:
         return self._count
@@ -76,8 +89,17 @@ class LatencyRecorder:
         )
 
     def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Combine two recorders (e.g. per-client) into a fresh one."""
         merged = LatencyRecorder(self.name, max(1, self._count + other._count))
         merged._values[: self._count] = self.values
         merged._values[self._count : self._count + other._count] = other.values
         merged._count = self._count + other._count
         return merged
+
+    def extend(self, other: "LatencyRecorder") -> None:
+        """In-place variant of :meth:`merge` (aggregation rollups)."""
+        needed = self._count + other._count
+        if needed > len(self._values):
+            self._grow(max(needed, 2 * len(self._values)))
+        self._values[self._count : needed] = other.values
+        self._count = needed

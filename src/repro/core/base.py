@@ -220,6 +220,9 @@ class _RdmaEndpoint:
         region.fill(payload)
         seg = region.segments[0]
         wr = SendWR(self.sim, segments=[Segment(seg.stag, seg.addr, len(payload))])
+        telemetry = self.sim.telemetry
+        if telemetry is not None and telemetry.tracer is not None:
+            wr.tspan = telemetry.tracer.task_span()
         yield from self.node.hca.post_send(self.qp, wr)
         self.headers_sent.add()
         self.sim.process(self._reclaim_send(region, wr), name=f"{self.name}.reclaim")
@@ -257,19 +260,31 @@ class _RdmaEndpoint:
         Blocks until every read completes — the issuing thread cannot
         proceed because a subsequent Send could pass the Reads (§4.1).
         """
-        ops = pair_transfers(region.segments, remote_segments, length)
-        wrs = []
-        for local_slice, remote_seg in ops:
-            # For a read, locals scatter and remote is the source; the
-            # pairing helper treats the remote list as the op splitter.
-            wr = RdmaReadWR(self.sim, local=local_slice, remote=remote_seg)
-            yield from self.node.hca.post_send(self.qp, wr)
-            wrs.append(wr)
-        for wr in wrs:
-            yield wr.completion
-            if not wr.cqe.ok:
-                raise TransportError(f"RDMA Read failed: {wr.cqe.error}")
-        self.bytes_rdma_read.add(length)
+        telemetry = self.sim.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        span = None
+        if tracer is not None:
+            span = tracer.begin("rdma.read_chunks", "transport", self.node.name,
+                                "rpcrdma", parent=tracer.task_span(), bytes=length)
+        try:
+            ops = pair_transfers(region.segments, remote_segments, length)
+            wrs = []
+            for local_slice, remote_seg in ops:
+                # For a read, locals scatter and remote is the source; the
+                # pairing helper treats the remote list as the op splitter.
+                wr = RdmaReadWR(self.sim, local=local_slice, remote=remote_seg)
+                if span is not None:
+                    wr.tspan = span
+                yield from self.node.hca.post_send(self.qp, wr)
+                wrs.append(wr)
+            for wr in wrs:
+                yield wr.completion
+                if not wr.cqe.ok:
+                    raise TransportError(f"RDMA Read failed: {wr.cqe.error}")
+            self.bytes_rdma_read.add(length)
+        finally:
+            if span is not None:
+                span.end()
 
     def push_chunks(
         self, region: RegisteredRegion, remote_segments: list[Segment], length: int
@@ -280,12 +295,24 @@ class _RdmaEndpoint:
         guarantees a later Send on the same QP completes after them
         (§4.2), so the reply send carries the completion semantics.
         """
-        ops = pair_transfers(region.segments, remote_segments, length)
-        for local_slice, remote_seg in ops:
-            wr = RdmaWriteWR(self.sim, local=local_slice, remote=remote_seg,
-                             signaled=False)
-            yield from self.node.hca.post_send(self.qp, wr)
-        self.bytes_rdma_written.add(length)
+        telemetry = self.sim.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        span = None
+        if tracer is not None:
+            span = tracer.begin("rdma.write_chunks", "transport", self.node.name,
+                                "rpcrdma", parent=tracer.task_span(), bytes=length)
+        try:
+            ops = pair_transfers(region.segments, remote_segments, length)
+            for local_slice, remote_seg in ops:
+                wr = RdmaWriteWR(self.sim, local=local_slice, remote=remote_seg,
+                                 signaled=False)
+                if span is not None:
+                    wr.tspan = span
+                yield from self.node.hca.post_send(self.qp, wr)
+            self.bytes_rdma_written.add(length)
+        finally:
+            if span is not None:
+                span.end()
 
 
 class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
@@ -355,6 +382,23 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
                 self.calls_recovered.add()
 
     def _attempt_call(self, call: RpcCall) -> Generator:
+        telemetry = self.sim.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        if tracer is None:
+            return (yield from self._attempt_call_inner(call))
+        span = tracer.begin("rpc.call", "rpc", self.node.name, "rpcrdma",
+                            parent=tracer.task_span(), xid=call.xid)
+        call.trace_id = span.trace_id
+        prev = tracer.push_task(span)
+        tracer.bind_xid(call.xid, span)
+        try:
+            return (yield from self._attempt_call_inner(call))
+        finally:
+            tracer.unbind_xid(call.xid, span)
+            tracer.pop_task(prev)
+            span.end()
+
+    def _attempt_call_inner(self, call: RpcCall) -> Generator:
         if not self.ready.processed:
             yield self.ready
         if self.peer_ready is not None and not self.peer_ready.processed:
@@ -397,8 +441,21 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
             if attempt >= self.config.max_retransmits:
                 break
             self.retransmissions.add()
-            yield from self.node.cpu.consume(self.config.per_op_cpu_us)
-            yield from self.send_header(header)
+            telemetry = self.sim.telemetry
+            tracer = telemetry.tracer if telemetry is not None else None
+            rspan = prev = None
+            if tracer is not None:
+                rspan = tracer.begin("rpc.retransmit", "rpc", self.node.name,
+                                     "rpcrdma", parent=tracer.task_span(),
+                                     xid=call.xid, attempt=attempt + 1)
+                prev = tracer.push_task(rspan)
+            try:
+                yield from self.node.cpu.consume(self.config.per_op_cpu_us)
+                yield from self.send_header(header)
+            finally:
+                if tracer is not None:
+                    tracer.pop_task(prev)
+                    rspan.end()
             timeout_us = min(timeout_us * self.config.backoff_factor,
                              self.config.max_reply_timeout_us)
             timeout_us *= 1.0 + self.config.backoff_jitter * self._jitter_rng.uniform(-1.0, 1.0)
@@ -444,6 +501,10 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
             self.sim.process(self._receiver(), name=f"{self.name}.rx")
             self._epoch += 1
             self.reconnects.add()
+            telemetry = self.sim.telemetry
+            if telemetry is not None and telemetry.tracer is not None:
+                telemetry.tracer.instant("rpc.redial", "rpc", self.node.name,
+                                         "rpcrdma", epoch=self._epoch)
         finally:
             self._reconnect_done = None
             done.succeed()
@@ -620,6 +681,24 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
         if header.mtype is MessageType.RDMA_DONE:
             yield from self._handle_done(header)
             return
+        telemetry = self.sim.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        if tracer is None:
+            yield from self._handle_message_inner(header)
+            return
+        # Parent onto the client's in-flight call span (xid binding is
+        # read-only here: the client owns the entry).
+        span = tracer.begin("rpc.receive", "transport", self.node.name,
+                            "rpcrdma", parent=tracer.xid_span(header.xid),
+                            xid=header.xid)
+        prev = tracer.push_task(span)
+        try:
+            yield from self._handle_message_inner(header)
+        finally:
+            tracer.pop_task(prev)
+            span.end()
+
+    def _handle_message_inner(self, header: RpcRdmaHeader) -> Generator:
         yield from self.node.cpu.consume(self.config.per_op_cpu_us)
         ctx: dict = {"regions": [], "header": header}
         # 1. Obtain the RPC message (inline or long call).
@@ -635,6 +714,11 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
         rpc_header, inline_payload = unframe_message(message)
         call = RpcCall.decode(rpc_header)
         call.write_payload = inline_payload
+        telemetry = self.sim.telemetry
+        if telemetry is not None and telemetry.tracer is not None:
+            bound = telemetry.tracer.xid_span(call.xid)
+            if bound is not None:
+                call.trace_id = bound.trace_id
         # 2. Fetch NFS WRITE data chunks (both designs: server RDMA Read,
         #    synchronous — the worker blocks inside fetch_chunks).
         data_chunks = header.chunks.read_chunks_at(DATA_CHUNK_POSITION)
@@ -655,6 +739,16 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
 
     def _responder(self, ctx: dict):
         def respond(reply: RpcReply) -> Generator:
+            telemetry = self.node.sim.telemetry
+            tracer = telemetry.tracer if telemetry is not None else None
+            span = prev = None
+            if tracer is not None:
+                # Reply path (chunk pushes + reply send) as one span
+                # nested under the dispatch span of the serving worker.
+                span = tracer.begin("rpc.reply", "transport", self.node.name,
+                                    "rpcrdma", parent=tracer.task_span(),
+                                    xid=reply.xid)
+                prev = tracer.push_task(span)
             try:
                 yield from self._respond(ctx, reply)
             except (QPError, TransportError):
@@ -662,6 +756,9 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
                 # the reply, keep the worker; resources still release.
                 self.failed = True
             finally:
+                if tracer is not None:
+                    tracer.pop_task(prev)
+                    span.end()
                 for region in ctx["regions"]:
                     yield from self.strategy.release(region)
 

@@ -63,6 +63,7 @@ class RegistrationCacheStrategy(RegistrationStrategy):
             # Cache hit: the slab object came back still registered with
             # (at least) the rights we need.  Zero registration cost.
             self.hits.add()
+            self._hit_instant(nbytes)
         else:
             if mr is not None and mr.valid:
                 # Registered with narrower rights: replace the mapping.
@@ -97,6 +98,12 @@ class RegistrationCacheStrategy(RegistrationStrategy):
             # forces it) invalidates the MR and frees the arena buffer.
             self.slab.free(region.handle)
         self.releases.add()
+
+    def _hit_instant(self, nbytes: int) -> None:
+        telemetry = self.node.sim.telemetry
+        if telemetry is not None and telemetry.tracer is not None:
+            telemetry.tracer.instant("reg.cache_hit", "reg", self.node.name,
+                                     "regcache", bytes=nbytes)
 
     @property
     def footprint_bytes(self) -> int:
@@ -154,6 +161,7 @@ class ClientRegistrationCache(RegistrationStrategy):
                 del self._wrapped[key]
                 self._wrapped[key] = entry
                 self.hits.add()
+                self._slab_side._hit_instant(length)
                 self.acquires.add()
                 from repro.ib.verbs import Segment
 

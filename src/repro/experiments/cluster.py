@@ -67,6 +67,10 @@ class ClusterConfig:
     #: deterministic fault schedule to arm against this cluster (None =
     #: no injector constructed, zero overhead).
     fault_plan: Optional[FaultPlan] = None
+    #: build with telemetry (span tracer + metrics registry) enabled.
+    #: Off by default: when off, ``sim.telemetry`` stays ``None`` and
+    #: every instrumentation site is a single attribute test.
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.transport not in TRANSPORTS:
@@ -180,6 +184,29 @@ class Cluster:
         if config.fault_plan is not None:
             self.faults = FaultInjector(self, config.fault_plan)
             self.faults.arm()
+
+        # Telemetry last: every component above must exist before the
+        # registry adapters walk the cluster.  Spans only read sim.now,
+        # so enabling this cannot perturb simulated timing.
+        self.telemetry = None
+        if config.telemetry:
+            self.enable_telemetry()
+
+    def enable_telemetry(self, tracing: bool = True):
+        """Attach a :class:`repro.telemetry.Telemetry` to this cluster.
+
+        Must be called before the simulation runs (the standard path is
+        ``ClusterConfig(telemetry=True)``).  Returns the Telemetry.
+        """
+        from repro.telemetry import Telemetry
+
+        if self.telemetry is None:
+            self.telemetry = Telemetry(self.sim, tracing=tracing)
+            self.sim.telemetry = self.telemetry
+            self.telemetry.attach_cluster(self)
+        elif tracing:
+            self.telemetry.enable_tracing()
+        return self.telemetry
 
     # -- wiring -----------------------------------------------------------
     def _make_strategy(self, kind: str, node: IBNode) -> RegistrationStrategy:

@@ -26,6 +26,7 @@ from repro.security import probe_primitive_properties
 
 __all__ = [
     "ExperimentResult",
+    "figure_grid",
     "run_table1",
     "run_fig5",
     "run_fig6",
@@ -60,6 +61,35 @@ class ExperimentResult:
 
 def _ops(scale: str, quick: int, full: int) -> int:
     return quick if scale == "quick" else full
+
+
+def figure_grid(name: str, scale: str = "quick") -> list[tuple[str, Point]]:
+    """The labeled point grid behind an iozone figure.
+
+    Lets per-point tooling (the ``stats`` and ``trace`` CLI commands)
+    re-run exactly one point of a figure with telemetry attached.
+    """
+    if name in ("fig5", "fig6"):
+        return [(f"{series}-t{threads}", p)
+                for series, threads, p in _solaris_iozone_points(scale)]
+    if name == "fig7":
+        grid = _strategy_iozone_points(
+            scale,
+            (("dynamic", "Register"), ("fmr", "FMR"), ("cache", "Cache")),
+            "solaris-sdr",
+        )
+        return [(f"RW-{label}-t{threads}", p) for label, threads, p in grid]
+    if name == "fig9":
+        grid = _strategy_iozone_points(
+            scale,
+            (("dynamic", "Register"), ("fmr", "FMR"),
+             ("all-physical", "All-Physical")),
+            "linux-sdr",
+        )
+        return [(f"RW-{label}-t{threads}", p) for label, threads, p in grid]
+    raise ValueError(
+        f"no point grid for {name!r} (choose fig5, fig6, fig7 or fig9)"
+    )
 
 
 def _events(results: list[dict]) -> int:

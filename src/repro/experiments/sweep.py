@@ -60,14 +60,17 @@ def _build_cluster(spec: dict):
     return Cluster(ClusterConfig(**kwargs))
 
 
-def run_point(point: Point) -> dict:
+def run_point(point: Point, cluster=None) -> dict:
     """Execute one point; returns plain-data metrics (picklable).
 
     Always includes ``events`` (simulator events stepped) and
     ``sim_us`` (simulated time covered) so callers can report the
-    simulator's own throughput.
+    simulator's own throughput.  ``cluster`` lets a caller supply a
+    pre-built cluster (e.g. one with telemetry enabled) and inspect it
+    after the run; by default each point builds its own.
     """
-    cluster = _build_cluster(point.cluster)
+    if cluster is None:
+        cluster = _build_cluster(point.cluster)
     if point.kind == "iozone":
         from repro.workloads import IozoneParams, run_iozone
 

@@ -58,6 +58,13 @@ class FaultInjector(LinkFaultHook):
         self.stalls_fired = Counter("faults.stalls")
         self.crashes_fired = Counter("faults.crashes")
 
+    # -- telemetry ---------------------------------------------------------
+    def _instant(self, name: str, node: str, **args) -> None:
+        """Mark a fired fault on the trace timeline (no-op when off)."""
+        telemetry = self.sim.telemetry
+        if telemetry is not None and telemetry.tracer is not None:
+            telemetry.tracer.instant(name, "fault", node, "faults", **args)
+
     # -- lifecycle --------------------------------------------------------
     def arm(self) -> None:
         """Install hooks and schedule every planned fault."""
@@ -103,6 +110,7 @@ class FaultInjector(LinkFaultHook):
         if forced > 0:
             self._forced_drops[node] = forced - 1
             self.messages_dropped.add()
+            self._instant("fault.msg_drop", node, forced=True)
             return True
         now = self.sim.now
         for spec in self.plan.message_loss:
@@ -112,6 +120,7 @@ class FaultInjector(LinkFaultHook):
                 continue
             if self._loss_rng.uniform() < spec.rate:
                 self.messages_dropped.add()
+                self._instant("fault.msg_drop", node, forced=False)
                 return True
         return False
 
@@ -127,7 +136,9 @@ class FaultInjector(LinkFaultHook):
                 continue
             if self._delay_rng.uniform() < spec.rate:
                 self.delay_spikes_injected.add()
-                return self._delay_rng.exponential(spec.mean_delay_us)
+                delay = self._delay_rng.exponential(spec.mean_delay_us)
+                self._instant("fault.delay_spike", node, delay_us=delay)
+                return delay
         return 0.0
 
     # -- disk hook ---------------------------------------------------------
@@ -167,6 +178,7 @@ class FaultInjector(LinkFaultHook):
         qp = getattr(mount.transport, "qp", None)
         if self._kill_connection(qp, "injected fault: qp kill"):
             self.qp_kills_fired.add()
+            self._instant("fault.qp_kill", mount.node.name)
 
     def _disk_fault(self, spec):
         yield self._wait_until(spec.at_us)
@@ -185,11 +197,13 @@ class FaultInjector(LinkFaultHook):
     def _stall(self, spec):
         yield self._wait_until(spec.at_us)
         self.stalls_fired.add()
+        self._instant("fault.server_stall", "server", duration_us=spec.duration_us)
         yield from self.cluster.server_node.cpu.stall(spec.duration_us)
 
     def _crash(self, spec):
         yield self._wait_until(spec.at_us)
         self.crashes_fired.add()
+        self._instant("fault.server_crash", "server", restart_us=spec.restart_us)
         # Every connection dies with the server...
         for mount in self.cluster.mounts:
             self._kill_connection(getattr(mount.transport, "qp", None),

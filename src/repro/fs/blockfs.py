@@ -126,6 +126,13 @@ class BlockFs(NamespaceFs):
         inode = self._get(fileid)
         if inode.attrs.kind is not FileKind.REGULAR:
             raise FsError("INVAL", "read of non-file")
+        token = self._data_span("read", fileid=fileid, bytes=length)
+        try:
+            return (yield from self._read_inner(inode, fileid, offset, length))
+        finally:
+            self._end_span(token)
+
+    def _read_inner(self, inode, fileid: int, offset: int, length: int) -> Generator:
         yield from self._tick()
         length = max(0, min(length, inode.attrs.size - offset))
         first = offset // self.page_bytes
@@ -167,6 +174,13 @@ class BlockFs(NamespaceFs):
         inode = self._get(fileid)
         if inode.attrs.kind is not FileKind.REGULAR:
             raise FsError("INVAL", "write of non-file")
+        token = self._data_span("write", fileid=fileid, bytes=len(data))
+        try:
+            return (yield from self._write_inner(inode, fileid, offset, data))
+        finally:
+            self._end_span(token)
+
+    def _write_inner(self, inode, fileid: int, offset: int, data: bytes) -> Generator:
         yield from self._tick()
         yield from self.cpu.copy(len(data))
         end = offset + len(data)
@@ -200,10 +214,14 @@ class BlockFs(NamespaceFs):
         return len(data)
 
     def commit(self, fileid: int) -> Generator:
-        yield from self._tick()
-        for key in self.cache.dirty_pages(fileid):
-            yield from self.raid.write(self._disk_offset(key), self.page_bytes)
-            self.cache.mark_clean(key)
+        token = self._data_span("commit", fileid=fileid)
+        try:
+            yield from self._tick()
+            for key in self.cache.dirty_pages(fileid):
+                yield from self.raid.write(self._disk_offset(key), self.page_bytes)
+                self.cache.mark_clean(key)
+        finally:
+            self._end_span(token)
 
     def fsstat(self) -> Generator:
         yield from self._tick()

@@ -82,6 +82,30 @@ class NamespaceFs(FileSystem):
     def _tick(self) -> Generator:
         yield from self.cpu.consume(self.per_op_cpu_us)
 
+    # -- telemetry ------------------------------------------------------------
+    def _data_span(self, op: str, **args):
+        """Open a ``disk``-category span for a data operation.
+
+        Returns an opaque token for :meth:`_end_span`, or ``None`` when
+        telemetry is off.  The span is pushed as the current task span so
+        nested device work (RAID stripes) parents under it.
+        """
+        telemetry = self.sim.telemetry
+        if telemetry is None or telemetry.tracer is None:
+            return None
+        tracer = telemetry.tracer
+        span = tracer.begin(f"{self.name}.{op}", "disk", "server", self.name,
+                            parent=tracer.task_span(), **args)
+        prev = tracer.push_task(span)
+        return tracer, span, prev
+
+    def _end_span(self, token) -> None:
+        if token is None:
+            return
+        tracer, span, prev = token
+        tracer.pop_task(prev)
+        span.end()
+
     # -- namespace -----------------------------------------------------------
     def lookup(self, dir_id: int, name: str) -> Generator:
         yield from self._tick()

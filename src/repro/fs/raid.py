@@ -61,12 +61,22 @@ class Raid0:
             remaining -= take
 
     def _fan_out(self, offset: int, nbytes: int, op: str) -> Generator:
-        procs = []
-        for disk, disk_offset, take in self._pieces(offset, nbytes):
-            method = disk.read if op == "read" else disk.write
-            procs.append(self.sim.process(method(disk_offset, take)))
-        if procs:
-            yield AllOf(self.sim, procs)
+        telemetry = self.sim.telemetry
+        span = None
+        if telemetry is not None and telemetry.tracer is not None:
+            tracer = telemetry.tracer
+            span = tracer.begin(f"raid.{op}", "disk", "server", self.name,
+                                parent=tracer.task_span(), bytes=nbytes)
+        try:
+            procs = []
+            for disk, disk_offset, take in self._pieces(offset, nbytes):
+                method = disk.read if op == "read" else disk.write
+                procs.append(self.sim.process(method(disk_offset, take)))
+            if procs:
+                yield AllOf(self.sim, procs)
+        finally:
+            if span is not None:
+                span.end()
 
     def read(self, offset: int, nbytes: int) -> Generator:
         """Process: striped read; returns when the slowest piece lands."""

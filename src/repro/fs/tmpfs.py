@@ -29,12 +29,16 @@ class TmpFs(NamespaceFs):
         inode = self._get(fileid)
         if inode.attrs.kind is not FileKind.REGULAR:
             raise FsError("INVAL", "read of non-file")
-        yield from self._tick()
-        data = inode.data.read(offset, length)
-        # One pass over the data: page-cache -> transport buffer.  The
-        # simulated memcpy is charged in full even though the host only
-        # moves a payload descriptor.
-        yield from self.cpu.copy(len(data))
+        token = self._data_span("read", fileid=fileid, bytes=length)
+        try:
+            yield from self._tick()
+            data = inode.data.read(offset, length)
+            # One pass over the data: page-cache -> transport buffer.  The
+            # simulated memcpy is charged in full even though the host only
+            # moves a payload descriptor.
+            yield from self.cpu.copy(len(data))
+        finally:
+            self._end_span(token)
         inode.attrs.atime = self.sim.now
         eof = offset + length >= len(inode.data)
         return data, eof
@@ -43,14 +47,18 @@ class TmpFs(NamespaceFs):
         inode = self._get(fileid)
         if inode.attrs.kind is not FileKind.REGULAR:
             raise FsError("INVAL", "write of non-file")
-        yield from self._tick()
-        end = offset + len(data)
-        grow = max(0, end - len(inode.data))
-        if self.used_bytes + grow > self.capacity_bytes:
-            raise FsError("NOSPC", "tmpfs full")
-        if grow:
-            self.used_bytes += grow
-        yield from self.cpu.copy(len(data))
+        token = self._data_span("write", fileid=fileid, bytes=len(data))
+        try:
+            yield from self._tick()
+            end = offset + len(data)
+            grow = max(0, end - len(inode.data))
+            if self.used_bytes + grow > self.capacity_bytes:
+                raise FsError("NOSPC", "tmpfs full")
+            if grow:
+                self.used_bytes += grow
+            yield from self.cpu.copy(len(data))
+        finally:
+            self._end_span(token)
         inode.data.write(offset, data)
         inode.attrs.size = len(inode.data)
         inode.attrs.mtime = self.sim.now

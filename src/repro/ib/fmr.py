@@ -92,6 +92,7 @@ class FMRPool:
         # not observe the same free stag (classic check-then-act hazard).
         stag = self._free_stags.popleft()
         npages = pages_spanned(addr, length)
+        span = self.tpt._reg_span("reg.fmr_map", npages=npages)
         try:
             # Pinning and translation are unchanged relative to regular
             # registration; only the TPT transaction is cheaper.
@@ -106,6 +107,9 @@ class FMRPool:
         except BaseException:
             self._free_stags.append(stag)
             raise
+        finally:
+            if span is not None:
+                span.end()
         mr = FMRRegion(self, stag, buffer, addr, length, access)
         self.tpt._entries[stag] = mr
         self.tpt.registrations.add()
@@ -121,12 +125,17 @@ class FMRPool:
         if not mr.valid:
             return
         npages = mr.npages
-        req = self.tpt.engine.request()
-        yield req
+        span = self.tpt._reg_span("reg.fmr_unmap", npages=npages)
         try:
-            yield self.tpt.sim.timeout(self.tpt.costs.fmr_unmap_us(npages))
+            req = self.tpt.engine.request()
+            yield req
+            try:
+                yield self.tpt.sim.timeout(self.tpt.costs.fmr_unmap_us(npages))
+            finally:
+                self.tpt.engine.release(req)
         finally:
-            self.tpt.engine.release(req)
+            if span is not None:
+                span.end()
         mr.valid = False
         # The entry (slot + stag) survives; only the binding is dropped.
         self.tpt._entries[mr.stag] = None  # type: ignore[assignment]

@@ -92,6 +92,8 @@ class HCA:
         self.arena = arena
         self.config = config
         self.name = name
+        # Telemetry process label: the owning node ("server.hca" → "server").
+        self._pid = name.split(".")[0] if "." in name else name
         self.port = DuplexLink(sim, link_config, name=f"{name}.port")
         self.tpt = TranslationProtectionTable(
             sim, cpu, config.registration, rng.child("tpt"), name=f"{name}.tpt"
@@ -209,15 +211,28 @@ class HCA:
                 return
             if getattr(wr, "fence", False):
                 yield from self._drain_reads(qp)
-            yield self.sim.timeout(self.config.wqe_process_us)
-            if wr.opcode is Opcode.SEND:
-                yield from self._execute_send(qp, wr)
-            elif wr.opcode is Opcode.RDMA_WRITE:
-                yield from self._execute_write(qp, wr)
-            elif wr.opcode is Opcode.RDMA_READ:
-                yield from self._execute_read(qp, wr)
-            else:  # pragma: no cover - defensive
-                wr._complete(qp, qp.send_cq, CqeStatus.LOC_PROT_ERR, error="bad opcode")
+            telemetry = self.sim.telemetry
+            span = None
+            if telemetry is not None and telemetry.tracer is not None:
+                # Span covers the dispatcher's occupancy by this WQE:
+                # serial per QP, parented under whoever posted the WR.
+                span = telemetry.tracer.begin(
+                    f"hca.{wr.opcode.value}", "hca", self._pid,
+                    f"qp{qp.qp_num}", parent=wr.tspan)
+            try:
+                yield self.sim.timeout(self.config.wqe_process_us)
+                if wr.opcode is Opcode.SEND:
+                    yield from self._execute_send(qp, wr)
+                elif wr.opcode is Opcode.RDMA_WRITE:
+                    yield from self._execute_write(qp, wr)
+                elif wr.opcode is Opcode.RDMA_READ:
+                    yield from self._execute_read(qp, wr)
+                else:  # pragma: no cover - defensive
+                    wr._complete(qp, qp.send_cq, CqeStatus.LOC_PROT_ERR,
+                                 error="bad opcode")
+            finally:
+                if span is not None:
+                    span.end()
 
     def _drain_reads(self, qp: QueuePair) -> Generator:
         pending = list(self._outstanding_reads[qp.qp_num])
@@ -344,6 +359,15 @@ class HCA:
     def _read_response(self, qp: QueuePair, wr: RdmaReadWR, slot, done) -> Generator:
         peer_qp = qp.peer
         peer_hca: HCA = peer_qp.hca
+        telemetry = self.sim.telemetry
+        span = None
+        if telemetry is not None and telemetry.tracer is not None:
+            # The responder-side half of the read: engine occupancy + data
+            # return, drawn on the *remote* HCA's lane.
+            span = telemetry.tracer.begin(
+                "hca.read_response", "hca", peer_hca._pid,
+                f"qp{peer_qp.qp_num}.rdeng", parent=wr.tspan,
+                bytes=wr.remote.length)
         try:
             # Responder: serialized per-QP read engine (request scheduling,
             # DMA setup) then the data streams back on the reverse path.
@@ -385,6 +409,8 @@ class HCA:
             self.reads.add(len(payload))
             wr._complete(qp, qp.send_cq, CqeStatus.SUCCESS, byte_len=len(payload))
         finally:
+            if span is not None:
+                span.end()
             self._ord_slots[qp.qp_num].release(slot)
             self._outstanding_reads[qp.qp_num].discard(done)
             if not done.triggered:

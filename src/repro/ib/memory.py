@@ -372,16 +372,21 @@ class TranslationProtectionTable:
         if addr < buffer.addr or addr + length > buffer.addr + buffer.length:
             raise ValueError("registration window outside buffer")
         npages = pages_spanned(addr, length)
-        # Pin + translate on the CPU (parallelisable across cores).
-        yield from self.cpu.consume(npages * self.costs.pin_cpu_per_page_us)
-        buffer.pinned_pages += npages
-        # Serialized TPT update transaction on the HCA.
-        req = self.engine.request()
-        yield req
+        span = self._reg_span("reg.register", npages=npages)
         try:
-            yield self.sim.timeout(self.costs.reg_tpt_us(npages))
+            # Pin + translate on the CPU (parallelisable across cores).
+            yield from self.cpu.consume(npages * self.costs.pin_cpu_per_page_us)
+            buffer.pinned_pages += npages
+            # Serialized TPT update transaction on the HCA.
+            req = self.engine.request()
+            yield req
+            try:
+                yield self.sim.timeout(self.costs.reg_tpt_us(npages))
+            finally:
+                self.engine.release(req)
         finally:
-            self.engine.release(req)
+            if span is not None:
+                span.end()
         stag = self._fresh_stag()
         mr = MemoryRegion(self, stag, buffer, addr, length, access)
         self._entries[stag] = mr
@@ -395,16 +400,31 @@ class TranslationProtectionTable:
         if not mr.valid:
             return
         npages = mr.npages
-        req = self.engine.request()
-        yield req
+        span = self._reg_span("reg.deregister", npages=npages)
         try:
-            yield self.sim.timeout(self.costs.dereg_tpt_us(npages))
+            req = self.engine.request()
+            yield req
+            try:
+                yield self.sim.timeout(self.costs.dereg_tpt_us(npages))
+            finally:
+                self.engine.release(req)
+            mr.invalidate()
+            mr.buffer.pinned_pages -= npages
+            yield from self.cpu.consume(npages * self.costs.unpin_cpu_per_page_us)
         finally:
-            self.engine.release(req)
-        mr.invalidate()
-        mr.buffer.pinned_pages -= npages
-        yield from self.cpu.consume(npages * self.costs.unpin_cpu_per_page_us)
+            if span is not None:
+                span.end()
         self.deregistrations.add()
+
+    def _reg_span(self, name: str, **args):
+        """Registration-path span (cat ``reg``), or None when telemetry is off."""
+        telemetry = self.sim.telemetry
+        if telemetry is None or telemetry.tracer is None:
+            return None
+        tracer = telemetry.tracer
+        pid = self.name.split(".")[0] if "." in self.name else self.name
+        return tracer.begin(name, "reg", pid, "tpt",
+                            parent=tracer.task_span(), **args)
 
     # -- data path (free; performed by HCA hardware) ----------------------
     def lookup(self, stag: int, addr: int, length: int, need: AccessFlags) -> MemoryRegion:

@@ -112,6 +112,9 @@ class _WorkRequest:
         self.signaled = signaled
         self.completion: Event = sim.event()
         self.cqe: Optional[Cqe] = None
+        #: telemetry parent span set by the posting layer — lets the HCA
+        #: dispatcher nest its WQE spans under the RPC that posted them.
+        self.tspan = None
 
     def _complete(self, qp: "QueuePair", cq: "CompletionQueue", status: CqeStatus,
                   byte_len: int = 0, error: Optional[str] = None) -> Cqe:

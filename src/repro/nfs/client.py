@@ -45,18 +45,46 @@ class NfsClient:
         self.root = root
         self.name = name
         self.ops = Counter(f"{name}.ops")
+        self._sim = getattr(transport, "sim", None)
+        node = getattr(transport, "node", None)
+        endpoint = getattr(transport, "endpoint", None)
+        self._pid = (node.name if node is not None
+                     else endpoint.name.split(".")[0] if endpoint is not None
+                     else "client")
 
     # -- plumbing -----------------------------------------------------------
     def _call(self, proc: Nfs3Proc, header: bytes, **kwargs) -> Generator:
         call = RpcCall(prog=NFS3_PROG, vers=NFS3_VERS, proc=int(proc),
                        header=header, **kwargs)
-        reply = yield from self.transport.call(call)
+        telemetry = self._sim.telemetry if self._sim is not None else None
+        if telemetry is None:
+            reply = yield from self.transport.call(call)
+        else:
+            reply = yield from self._call_traced(call, proc.name, telemetry)
         self.ops.add()
         dec = XdrDecoder(reply.header)
         status = Nfs3Status(dec.u32())
         if status is not Nfs3Status.OK:
             raise NfsError(status, proc)
         return dec, reply
+
+    def _call_traced(self, call: RpcCall, verb: str, telemetry) -> Generator:
+        """Traced transport call: a client op span + per-verb latency."""
+        tracer = telemetry.tracer
+        span = prev = None
+        if tracer is not None:
+            span = tracer.begin(f"nfs.{verb}", "client", self._pid, "nfs",
+                                parent=tracer.task_span(), xid=call.xid)
+            prev = tracer.push_task(span)
+        start = self._sim.now
+        try:
+            reply = yield from self.transport.call(call)
+        finally:
+            telemetry.record_op(self.name, verb, self._sim.now - start)
+            if tracer is not None:
+                tracer.pop_task(prev)
+                span.end()
+        return reply
 
     @staticmethod
     def _enc() -> XdrEncoder:

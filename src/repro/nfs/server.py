@@ -82,6 +82,23 @@ class NfsServer:
         method = getattr(self, f"_do_{proc.name.lower()}", None)
         if method is None:
             return self._error_reply(call, Nfs3Status.SERVERFAULT)
+        telemetry = self.rpc.sim.telemetry
+        if telemetry is None:
+            return (yield from self._run_proc(call, proc, method))
+        telemetry.record_server_op(proc.name)
+        tracer = telemetry.tracer
+        if tracer is None:
+            return (yield from self._run_proc(call, proc, method))
+        span = tracer.begin(f"nfsd.{proc.name}", "server", "server", "nfsd",
+                            parent=tracer.task_span(), xid=call.xid)
+        prev = tracer.push_task(span)
+        try:
+            return (yield from self._run_proc(call, proc, method))
+        finally:
+            tracer.pop_task(prev)
+            span.end()
+
+    def _run_proc(self, call: RpcCall, proc: Nfs3Proc, method) -> Generator:
         try:
             reply = yield from method(call, XdrDecoder(call.header))
             return reply

@@ -68,6 +68,10 @@ class RpcCall:
     #: direct-I/O zero-copy READ path of the Read-Write design.
     read_buffer: Optional[object] = None
     xid: int = field(default_factory=lambda: next(_xids))
+    #: Telemetry correlation handle, set by the transport when tracing
+    #: is enabled.  Deliberately *not* encoded: real RPC has no such
+    #: field, and adding wire bytes would change simulated timing.
+    trace_id: Optional[int] = None
 
     def encode(self) -> bytes:
         """Wire encoding of the call *header* (bulk rides separately)."""
@@ -108,6 +112,8 @@ class RpcReply:
     stat: int = MSG_ACCEPTED
     header: bytes = b""
     read_payload: Optional[bytes] = None
+    #: Telemetry correlation handle (see :attr:`RpcCall.trace_id`).
+    trace_id: Optional[int] = None
 
     def encode(self) -> bytes:
         enc = XdrEncoder()

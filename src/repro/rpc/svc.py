@@ -91,6 +91,22 @@ class RpcServer:
 
     def _handle(self, worker: int, task) -> Generator:
         call, respond = task
+        telemetry = self.sim.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        if tracer is None:
+            yield from self._handle_inner(call, respond)
+            return
+        span = tracer.begin("rpc.dispatch", "server", "server",
+                            f"svc.w{worker}", parent=tracer.xid_span(call.xid),
+                            xid=call.xid, proc=call.proc)
+        prev = tracer.push_task(span)
+        try:
+            yield from self._handle_inner(call, respond)
+        finally:
+            tracer.pop_task(prev)
+            span.end()
+
+    def _handle_inner(self, call: RpcCall, respond) -> Generator:
         yield from self.cpu.consume(self.costs.decode_cpu_us)
         handler = self._programs.get((call.prog, call.vers))
         if handler is None:
@@ -107,6 +123,7 @@ class RpcServer:
                 f"handler for prog {call.prog} returned {type(reply).__name__}, "
                 "expected RpcReply"
             )
+        reply.trace_id = call.trace_id
         yield from self.cpu.consume(self.costs.encode_cpu_us)
         if self.drc is not None:
             waiters = self.drc.complete(call.xid, call.prog, call.proc, reply)

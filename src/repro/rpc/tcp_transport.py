@@ -42,6 +42,8 @@ class TcpRpcClient(RpcClientTransport):
         #: stops here instead of growing without bound.
         self.max_retrans_timeout_us = max_retrans_timeout_us
         self.name = name
+        # Telemetry process label: "client0.tcp" endpoint → "client0".
+        self.node_name = endpoint.name.split(".")[0]
         self._pending: dict[int, Event] = {}
         self.calls_sent = Counter(f"{name}.calls")
         self.retransmissions = Counter(f"{name}.retrans")
@@ -54,6 +56,23 @@ class TcpRpcClient(RpcClientTransport):
         cache (if configured) suppresses re-execution and the demux here
         drops whichever reply arrives second.
         """
+        telemetry = self.sim.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        if tracer is None:
+            return (yield from self._call_inner(call, None))
+        span = tracer.begin("rpc.call", "rpc", self.node_name, "rpctcp",
+                            parent=tracer.task_span(), xid=call.xid)
+        call.trace_id = span.trace_id
+        prev = tracer.push_task(span)
+        tracer.bind_xid(call.xid, span)
+        try:
+            return (yield from self._call_inner(call, tracer))
+        finally:
+            tracer.unbind_xid(call.xid, span)
+            tracer.pop_task(prev)
+            span.end()
+
+    def _call_inner(self, call: RpcCall, tracer) -> Generator:
         waiter = Event(self.sim)
         self._pending[call.xid] = waiter
         message = frame_message(call.encode(), call.write_payload)
@@ -69,7 +88,15 @@ class TcpRpcClient(RpcClientTransport):
                 return waiter.value
             if attempt < self.max_retries:
                 self.retransmissions.add()
+                rspan = None
+                if tracer is not None:
+                    rspan = tracer.begin("rpc.retransmit", "rpc",
+                                         self.node_name, "rpctcp",
+                                         parent=tracer.task_span(),
+                                         xid=call.xid, attempt=attempt + 1)
                 yield from self.conn.send(self.endpoint, message)
+                if rspan is not None:
+                    rspan.end()
                 # Classic RPC exponential backoff, capped at the ceiling.
                 timeout_us = min(timeout_us * 2, self.max_retrans_timeout_us)
         self._pending.pop(call.xid, None)
@@ -127,6 +154,12 @@ class TcpRpcServerTransport(RpcServerTransport):
                 # Failure injection: the reply vanishes on the wire.
                 self.drop_next_replies -= 1
                 self.replies_dropped.add()
+                telemetry = self.sim.telemetry
+                if telemetry is not None and telemetry.tracer is not None:
+                    telemetry.tracer.instant(
+                        "fault.reply_dropped", "fault",
+                        self.endpoint.name.split(".")[0], "rpctcp",
+                        xid=reply.xid)
                 return
             message = frame_message(reply.encode(), reply.read_payload)
             yield from self.conn.send(self.endpoint, message)

@@ -199,6 +199,7 @@ class Process(Event):
 
     # -- internal -------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
+        self.sim.active_process = self
         self._waiting_on = None
         while True:
             try:
@@ -314,6 +315,13 @@ class Simulator:
         #: total events processed — the simulator's own work metric,
         #: reported by ``python -m repro bench`` as events/sec.
         self.steps = 0
+        #: observability root (repro.telemetry.Telemetry) or None.  This
+        #: is the single disable flag: every instrumented site does one
+        #: attribute load + ``is None`` test when telemetry is off.
+        self.telemetry = None
+        #: the Process currently being resumed; the span tracer keys its
+        #: task-span map on this to nest same-process spans.
+        self.active_process = None
 
     # -- construction helpers -------------------------------------------
     def event(self) -> Event:

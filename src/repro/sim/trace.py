@@ -8,7 +8,6 @@ paper plots (Figs 6–9).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -102,15 +101,22 @@ class Tracer:
 
     enabled: bool = False
     records: list = field(default_factory=list)
-    counts: dict = field(default_factory=lambda: defaultdict(int))
+    #: plain insertion-ordered dict — iteration order follows first-emit
+    #: order, which varies across code paths; report through
+    #: :meth:`sorted_counts` so output never depends on it.
+    counts: dict = field(default_factory=dict)
 
     def emit(self, sim: Simulator, category: str, payload: Any = None) -> None:
-        self.counts[category] += 1
+        self.counts[category] = self.counts.get(category, 0) + 1
         if self.enabled:
             self.records.append(TraceRecord(sim.now, category, payload))
 
     def count(self, category: str) -> int:
         return self.counts.get(category, 0)
+
+    def sorted_counts(self) -> list[tuple[str, int]]:
+        """Report-time view: (category, count) sorted by category name."""
+        return sorted(self.counts.items())
 
     def of(self, category: str) -> list:
         return [r for r in self.records if r.category == category]

@@ -1,0 +1,201 @@
+"""Telemetry: span tracing, a unified metrics registry, reporting.
+
+One object — :class:`Telemetry` — owns both observability surfaces:
+
+* ``telemetry.registry`` (:class:`~repro.telemetry.registry.Registry`):
+  labeled counters/gauges/histograms with deterministic iteration order.
+  :meth:`Telemetry.attach_cluster` absorbs every scattered live counter
+  in a built cluster (transports, HCAs, TPTs, FMR pools, registration
+  caches, page cache, DRC, fault injector) as callback gauges.
+* ``telemetry.tracer`` (:class:`~repro.telemetry.spans.SpanTracer`):
+  per-RPC span trees over simulated time, exportable as Chrome
+  ``trace_event`` JSON.  ``None`` unless tracing was requested.
+
+**Overhead contract** (DESIGN.md §9): the whole subsystem hangs off a
+single ``sim.telemetry`` attribute that defaults to ``None``.  Every
+instrumented site does one attribute load and one ``is None`` test when
+telemetry is off — no span objects, no dict lookups, no closures.  When
+on, spans only *read* ``sim.now``; they never schedule events, consume
+modeled CPU, or draw randomness, so simulated results are bit-identical
+either way.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import Counter, Gauge, Histogram, Registry, Sample
+from repro.telemetry.spans import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Sample",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+]
+
+
+def _events(counter):
+    """Collect-time reader for a live sim Counter's event count."""
+    return lambda: float(counter.events)
+
+
+def _value(counter):
+    """Collect-time reader for a live sim Counter's (possibly byte) value."""
+    return lambda: float(counter.value)
+
+
+class Telemetry:
+    """The cluster-wide observability root, attached as ``sim.telemetry``."""
+
+    def __init__(self, sim, tracing: bool = True):
+        self.sim = sim
+        self.registry = Registry()
+        self.tracer = SpanTracer(sim) if tracing else None
+        reg = self.registry
+        self.client_ops = reg.counter(
+            "nfs_client_ops", "NFS calls issued, by mount and verb",
+            ("mount", "verb"))
+        self.client_latency = reg.histogram(
+            "nfs_client_latency_us", "client-observed call latency",
+            ("mount", "verb"))
+        self.server_ops = reg.counter(
+            "nfs_server_ops", "NFS procedures executed by the server",
+            ("verb",))
+
+    def enable_tracing(self) -> SpanTracer:
+        if self.tracer is None:
+            self.tracer = SpanTracer(self.sim)
+        return self.tracer
+
+    # -- hot-path recording hooks -----------------------------------------
+    def record_op(self, mount: str, verb: str, latency_us: float) -> None:
+        self.client_ops.labels(mount=mount, verb=verb).add()
+        self.client_latency.labels(mount=mount, verb=verb).observe(latency_us)
+
+    def record_server_op(self, verb: str) -> None:
+        self.server_ops.labels(verb=verb).add()
+
+    # -- cluster wiring ----------------------------------------------------
+    def attach_cluster(self, cluster) -> None:
+        """Absorb a built cluster's live counters into the registry.
+
+        Everything is attached as a callback gauge, so the subsystems
+        keep their existing counter objects and the registry reads them
+        at collect time.
+        """
+        reg = self.registry
+
+        for mount in cluster.mounts:
+            t = mount.transport
+            m = mount.nfs.name
+            reg.attach("rpc_calls_sent", _events(t.calls_sent),
+                       "RPC calls handed to the transport", mount=m)
+            reg.attach("rpc_retransmits", _events(t.retransmissions),
+                       "timer-driven resends (same xid)", mount=m)
+            if hasattr(t, "reconnects"):
+                reg.attach("rpc_reconnects", _events(t.reconnects),
+                           "transport redials after fatal QP errors", mount=m)
+                reg.attach("rpc_calls_recovered", _events(t.calls_recovered),
+                           "calls replayed across a reconnect", mount=m)
+
+        rpc = cluster.rpc_server
+        reg.attach("rpc_server_calls", _events(rpc.calls_served),
+                   "RPCs dispatched by the server")
+        reg.attach("rpc_server_failed", _events(rpc.calls_failed),
+                   "dispatches that raised")
+        if cluster.drc is not None:
+            drc = cluster.drc
+            reg.attach("drc_inserts", _events(drc.inserts),
+                       "replies cached for duplicate detection")
+            reg.attach("drc_replays", _events(drc.replays),
+                       "duplicate xids answered from the cache")
+            reg.attach("drc_drops", _events(drc.drops),
+                       "duplicates dropped while the original ran")
+        reg.attach("nfsd_errors", _events(cluster.nfs_server.errors),
+                   "NFS procedures that returned an error status")
+
+        for node in [cluster.server_node] + list(cluster.client_nodes):
+            hca = node.hca
+            n = node.name
+            reg.attach("hca_send_ops", _events(hca.sends),
+                       "send WQEs executed", node=n)
+            reg.attach("hca_send_bytes", _value(hca.sends),
+                       "bytes moved by sends", node=n)
+            reg.attach("hca_rdma_write_bytes", _value(hca.writes),
+                       "bytes moved by RDMA Writes", node=n)
+            reg.attach("hca_rdma_read_bytes", _value(hca.reads),
+                       "bytes moved by RDMA Reads", node=n)
+            reg.attach("hca_rnr_events", _events(hca.rnr_events),
+                       "receiver-not-ready stalls", node=n)
+            tpt = hca.tpt
+            reg.attach("tpt_registrations", _events(tpt.registrations),
+                       "memory registrations installed", node=n)
+            reg.attach("tpt_deregistrations", _events(tpt.deregistrations),
+                       "registrations torn down", node=n)
+            reg.attach("tpt_protection_faults", _events(tpt.protection_faults),
+                       "RDMA accesses refused by the TPT", node=n)
+            reg.attach("tpt_live_entries", lambda t=tpt: float(t.live_entries),
+                       "currently valid TPT entries", node=n)
+
+        self._attach_strategy(cluster.server_strategy, side="server")
+        for mount in cluster.mounts:
+            strategy = getattr(mount.transport, "strategy", None)
+            if strategy is not None:
+                self._attach_strategy(strategy, side=mount.nfs.name)
+
+        cache = getattr(cluster.fs, "cache", None)
+        if cache is not None and hasattr(cache, "hits"):
+            reg.attach("pagecache_hits", _events(cache.hits),
+                       "server page-cache hits")
+            reg.attach("pagecache_misses", _events(cache.misses),
+                       "server page-cache misses")
+            reg.attach("pagecache_evictions", _events(cache.evictions),
+                       "pages evicted under memory pressure")
+            reg.attach("pagecache_writebacks", _events(cache.writebacks),
+                       "dirty pages written back")
+            reg.attach("pagecache_resident_pages",
+                       lambda c=cache: float(c.resident_pages),
+                       "pages currently cached")
+
+        if getattr(cluster, "faults", None) is not None:
+            f = cluster.faults
+            reg.attach("faults_messages_dropped", _events(f.messages_dropped),
+                       "messages eaten by the wire")
+            reg.attach("faults_delay_spikes", _events(f.delay_spikes_injected),
+                       "latency spikes injected")
+            reg.attach("faults_qp_kills", _events(f.qp_kills_fired),
+                       "QP connections killed")
+            reg.attach("faults_server_stalls", _events(f.stalls_fired),
+                       "whole-server stalls fired")
+            reg.attach("faults_server_crashes", _events(f.crashes_fired),
+                       "server crash-restarts fired")
+
+    def _attach_strategy(self, strategy, side: str) -> None:
+        """Registration-strategy gauges: FMR occupancy, regcache hit rate."""
+        reg = self.registry
+        if hasattr(strategy, "acquires"):
+            reg.attach("reg_acquires", _events(strategy.acquires),
+                       "registration-strategy acquisitions", side=side)
+            reg.attach("reg_releases", _events(strategy.releases),
+                       "registration-strategy releases", side=side)
+        pool = getattr(strategy, "pool", None)
+        if pool is not None:
+            reg.attach("fmr_pool_size", lambda p=pool: float(p.pool_size),
+                       "pre-allocated FMR entries", side=side)
+            reg.attach("fmr_mapped", lambda p=pool: float(p.pool_size - p.available),
+                       "FMR entries currently mapped (occupancy)", side=side)
+            reg.attach("fmr_maps", _events(pool.maps), "FMR map operations",
+                       side=side)
+            reg.attach("fmr_unmaps", _events(pool.unmaps), "FMR unmap operations",
+                       side=side)
+            reg.attach("fmr_fallbacks", _events(pool.fallbacks),
+                       "mappings that fell back to regular registration",
+                       side=side)
+        if hasattr(strategy, "hits") and hasattr(strategy, "misses"):
+            reg.attach("regcache_hits", _events(strategy.hits),
+                       "registration-cache hits", side=side)
+            reg.attach("regcache_misses", _events(strategy.misses),
+                       "registration-cache misses", side=side)

@@ -1,0 +1,228 @@
+"""Unified metrics registry: labeled counters, gauges and histograms.
+
+The simulator already counts everything — ``sim/trace.py`` counters on
+transports and HCAs, page-cache hit counters, latency recorders — but
+each subsystem keeps its own objects with its own naming.  The
+:class:`Registry` puts one deterministic namespace over all of it:
+
+* metric *families* are created idempotently by name and held in
+  insertion order;
+* each family fans out into labeled *children* (``mount=client0.nfs``,
+  ``verb=READ``); :meth:`Registry.collect` emits children sorted by
+  label value, so two identical runs produce byte-identical output;
+* existing live counters are absorbed without migration via
+  :meth:`Registry.attach` callback gauges — the registry reads them at
+  collect time instead of forcing every subsystem onto new objects.
+
+Histograms wrap :class:`repro.analysis.latency.LatencyRecorder`, so
+percentiles are exact (computed over all samples), not bucketed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.analysis.latency import LatencyRecorder, LatencySummary
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry", "Sample"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One collected value: ``name{labels} value``."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        if not self.labels:
+            return f"{self.name} {self.value}"
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return f"{self.name}{{{inner}}} {self.value}"
+
+
+class _Family:
+    """Base: a named metric with a fixed label schema and labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...]):
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labelset):
+        """The child for one label combination (created on first use)."""
+        if set(labelset) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labelset))}"
+            )
+        key = tuple(str(labelset[k]) for k in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    def items(self) -> Iterator[tuple[dict, object]]:
+        """(label dict, child) pairs sorted by label values."""
+        for key in sorted(self._children):
+            yield dict(zip(self.label_names, key)), self._children[key]
+
+    def _make_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _label_tuple(self, key: tuple[str, ...]) -> tuple[tuple[str, str], ...]:
+        return tuple(zip(self.label_names, key))
+
+    def samples(self) -> Iterator[Sample]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def add(self, amount: float = 1.0, **labelset) -> None:
+        self.labels(**labelset).add(amount)
+
+    def samples(self) -> Iterator[Sample]:
+        for key in sorted(self._children):
+            yield Sample(self.name, self._label_tuple(key), self._children[key].value)
+
+
+class _GaugeChild:
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self):
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = float(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read the value live at collect time (absorbs existing counters)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Gauge(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float, **labelset) -> None:
+        self.labels(**labelset).set(value)
+
+    def samples(self) -> Iterator[Sample]:
+        for key in sorted(self._children):
+            yield Sample(self.name, self._label_tuple(key), self._children[key].value)
+
+
+class _HistogramChild:
+    __slots__ = ("recorder",)
+
+    def __init__(self, name: str):
+        self.recorder = LatencyRecorder(name)
+
+    def observe(self, value: float) -> None:
+        self.recorder.record(value)
+
+    def summarize(self) -> LatencySummary:
+        return self.recorder.summarize()
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.name)
+
+    def observe(self, value: float, **labelset) -> None:
+        self.labels(**labelset).observe(value)
+
+    def samples(self) -> Iterator[Sample]:
+        for key in sorted(self._children):
+            s = self._children[key].summarize()
+            labels = self._label_tuple(key)
+            yield Sample(f"{self.name}_count", labels, float(s.count))
+            yield Sample(f"{self.name}_mean", labels, s.mean)
+            yield Sample(f"{self.name}_p50", labels, s.p50)
+            yield Sample(f"{self.name}_p90", labels, s.p90)
+            yield Sample(f"{self.name}_p99", labels, s.p99)
+            yield Sample(f"{self.name}_max", labels, s.maximum)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class Registry:
+    """Deterministically ordered namespace of metric families."""
+
+    def __init__(self):
+        self._families: dict[str, _Family] = {}  # insertion-ordered
+
+    def _family(self, kind: str, name: str, help: str, labels) -> _Family:
+        label_names = tuple(labels)
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _KINDS[kind](name, help, label_names)
+            return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}")
+        if family.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} has labels {family.label_names}, not {label_names}")
+        return family
+
+    def counter(self, name: str, help: str = "", labels=()) -> Counter:
+        return self._family("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels=()) -> Gauge:
+        return self._family("gauge", name, help, labels)
+
+    def histogram(self, name: str, help: str = "", labels=()) -> Histogram:
+        return self._family("histogram", name, help, labels)
+
+    def attach(self, name: str, fn: Callable[[], float], help: str = "",
+               **labelset) -> None:
+        """Absorb an existing live value: a gauge child reading ``fn``."""
+        gauge = self.gauge(name, help, labels=tuple(labelset))
+        gauge.labels(**labelset).set_function(fn)
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    def families(self) -> Iterator[_Family]:
+        yield from self._families.values()
+
+    def collect(self) -> list[Sample]:
+        """Every sample, families in registration order, children sorted."""
+        out: list[Sample] = []
+        for family in self._families.values():
+            out.extend(family.samples())
+        return out

@@ -1,0 +1,244 @@
+"""Span-based tracing over simulated time.
+
+A :class:`Span` is one timed interval of work (an NFS op, an RPC call,
+one WQE on an HCA, a disk read) stamped with the simulator clock.  Spans
+form trees: every RPC gets a *trace id* at the client and every nested
+span inherits it, so one NFS READ can be followed through client → RPC →
+transport → HCA → server dispatch → file system → disk.
+
+Two propagation mechanisms stitch the tree together without touching a
+single wire byte (message sizes — and therefore simulated timing — are
+exactly what they are with tracing off):
+
+* **task spans** — the tracer keeps a ``Process → Span`` map keyed by
+  ``sim.active_process`` (set by the engine on every resume).  A layer
+  that starts a span *pushes* it as the current task span; anything the
+  same process does underneath parents onto it, across arbitrarily deep
+  ``yield from`` chains.
+* **xid binding** — the client binds its ``rpc.call`` span to the RPC
+  xid; the server side (a different process, possibly a different node)
+  looks the xid up read-only to parent its dispatch span.  Retransmits
+  reuse the xid, so the resent path lands in the same trace.
+
+Export is Chrome ``trace_event`` JSON (the format Perfetto and
+``chrome://tracing`` load): async ``b``/``e`` pairs keyed by trace id —
+concurrent spans on one lane would overlap, which complete (``X``)
+events cannot express — plus ``M`` metadata naming processes/lanes and
+``i`` instants for point events (faults, redials).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = ["Span", "SpanTracer"]
+
+
+class Span:
+    """One timed interval; ``end()`` stamps the simulator clock."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "cat",
+        "pid",
+        "tid",
+        "id",
+        "trace_id",
+        "parent_id",
+        "start",
+        "finish",
+        "args",
+    )
+
+    def __init__(self, tracer, name, cat, pid, tid, span_id, trace_id, parent_id, start, args):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.pid = pid
+        self.tid = tid
+        self.id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.start = start
+        self.finish: Optional[float] = None
+        self.args = args
+
+    def end(self, **extra) -> None:
+        """Close the span at the current simulated instant (idempotent)."""
+        if self.finish is None:
+            self.finish = self._tracer.sim.now
+            if extra:
+                self.args.update(extra)
+
+    @property
+    def duration(self) -> float:
+        end = self.finish if self.finish is not None else self._tracer.sim.now
+        return end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Span {self.name} trace={self.trace_id} id={self.id} "
+            f"[{self.start:.3f}, {self.finish if self.finish is not None else '...'}]>"
+        )
+
+
+class SpanTracer:
+    """Records spans and instants against one :class:`Simulator`.
+
+    The tracer never schedules events, never consumes CPU and never
+    draws from any RNG — it only *reads* ``sim.now`` — so enabling it
+    cannot perturb simulated time.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.spans: list[Span] = []
+        self.instants: list[dict] = []
+        self._next_trace_id = 1
+        self._next_span_id = 1
+        # Insertion-ordered name → numeric id maps (deterministic export).
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[int, str], int] = {}
+        # Cross-process propagation state (see module docstring).
+        self._xid_spans: dict[int, Span] = {}
+        self._task_spans: dict[object, Span] = {}
+
+    # -- id management ----------------------------------------------------
+    def _pid(self, process_name: str) -> int:
+        pid = self._pids.get(process_name)
+        if pid is None:
+            pid = self._pids[process_name] = len(self._pids) + 1
+        return pid
+
+    def _tid(self, pid: int, lane: str) -> int:
+        key = (pid, lane)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = self._tids[key] = len(self._tids) + 1
+        return tid
+
+    # -- recording --------------------------------------------------------
+    def begin(self, name: str, cat: str, process: str, lane: str,
+              parent: Optional[Span] = None, **args) -> Span:
+        """Open a span now; inherits ``parent``'s trace id (or starts one)."""
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.id
+        else:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = None
+        pid = self._pid(process)
+        span = Span(self, name, cat, pid, self._tid(pid, lane),
+                    self._next_span_id, trace_id, parent_id, self.sim.now, args)
+        self._next_span_id += 1
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, cat: str, process: str, lane: str, **args) -> None:
+        """Record a point event (fault injection, redial, cache hit...)."""
+        pid = self._pid(process)
+        self.instants.append({
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "ts": self.sim.now,
+            "pid": pid,
+            "tid": self._tid(pid, lane),
+            "s": "t",
+            "args": dict(args),
+        })
+
+    # -- task-span propagation (same-process nesting) ---------------------
+    def task_span(self) -> Optional[Span]:
+        """The span the currently running process is working under."""
+        proc = self.sim.active_process
+        if proc is None:
+            return None
+        return self._task_spans.get(proc)
+
+    def push_task(self, span: Span) -> Optional[Span]:
+        """Make ``span`` the current process's task span; returns the old one."""
+        proc = self.sim.active_process
+        if proc is None:
+            return None
+        prev = self._task_spans.get(proc)
+        self._task_spans[proc] = span
+        return prev
+
+    def pop_task(self, prev: Optional[Span]) -> None:
+        """Restore the task span saved by the matching :meth:`push_task`."""
+        proc = self.sim.active_process
+        if proc is None:
+            return
+        if prev is None:
+            self._task_spans.pop(proc, None)
+        else:
+            self._task_spans[proc] = prev
+
+    # -- xid propagation (client → server parenting) ----------------------
+    def bind_xid(self, xid: int, span: Span) -> None:
+        self._xid_spans[xid] = span
+
+    def xid_span(self, xid: int) -> Optional[Span]:
+        return self._xid_spans.get(xid)
+
+    def unbind_xid(self, xid: int, span: Span) -> None:
+        # Only the binder removes its own binding (a reconnect may have
+        # re-issued the xid under a newer call span).
+        if self._xid_spans.get(xid) is span:
+            del self._xid_spans[xid]
+
+    # -- queries (test helpers) -------------------------------------------
+    def find(self, name: Optional[str] = None, cat: Optional[str] = None,
+             trace_id: Optional[int] = None) -> list[Span]:
+        out = []
+        for span in self.spans:
+            if name is not None and span.name != name:
+                continue
+            if cat is not None and span.cat != cat:
+                continue
+            if trace_id is not None and span.trace_id != trace_id:
+                continue
+            out.append(span)
+        return out
+
+    def children(self, parent: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == parent.id]
+
+    # -- export -----------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+        Spans still open (e.g. a run stopped mid-flight) are closed at
+        the current simulated instant so the file always balances.
+        """
+        now = self.sim.now
+        events: list[dict] = []
+        for process_name, pid in self._pids.items():
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": process_name}})
+        for (pid, lane), tid in self._tids.items():
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": lane}})
+        for span in self.spans:
+            ident = f"0x{span.trace_id:x}"
+            args = {"span_id": span.id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.args)
+            events.append({"name": span.name, "cat": span.cat, "ph": "b",
+                           "id": ident, "pid": span.pid, "tid": span.tid,
+                           "ts": span.start, "args": args})
+            events.append({"name": span.name, "cat": span.cat, "ph": "e",
+                           "id": ident, "pid": span.pid, "tid": span.tid,
+                           "ts": span.finish if span.finish is not None else now})
+        events.extend(self.instants)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh, separators=(",", ":"))
+            fh.write("\n")
