@@ -10,7 +10,7 @@ registration cache.
 Run:  python examples/full_deployment.py
 """
 
-from repro.experiments import Cluster, ClusterConfig
+from repro.api import Cluster, ClusterConfig
 from repro.nfs import (
     CachingNfsClient,
     ClientCacheConfig,

@@ -11,8 +11,7 @@ Run:  python examples/multiclient_scaling.py        (takes a minute)
 
 from repro.analysis import LINUX_DDR_RAID
 from repro.analysis.stats import format_table
-from repro.experiments import Cluster, ClusterConfig
-from repro.workloads import IozoneParams, run_iozone
+from repro.api import Cluster, ClusterConfig, IozoneParams, run_iozone
 
 FILE_BYTES = 48 << 20      # per-client file (paper: 1 GB, scaled 1/21)
 CLIENTS = (1, 2, 3, 4, 6, 8)

@@ -9,8 +9,7 @@ Run:  python examples/oltp_registration_tuning.py
 """
 
 from repro.analysis.stats import format_table
-from repro.experiments import Cluster, ClusterConfig
-from repro.workloads import OltpParams, run_oltp
+from repro.api import Cluster, ClusterConfig, OltpParams, run_oltp
 
 STRATEGIES = [
     ("dynamic", "register/deregister every op"),

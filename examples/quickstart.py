@@ -2,40 +2,37 @@
 """Quickstart: an NFS deployment over the Read-Write RPC/RDMA transport.
 
 Builds a one-client simulated cluster (client + server nodes with SDR
-InfiniBand HCAs, tmpfs backend), does ordinary file work through the
-NFSv3 client, then shows what moved over RDMA and what it cost.
+InfiniBand HCAs, tmpfs backend) through the public ``repro.api``
+facade, does ordinary file work with synchronous NFS verbs, then shows
+what moved over RDMA and what it cost.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.experiments import Cluster, ClusterConfig
-from repro.workloads import IozoneParams, run_iozone
+from repro.api import ClusterConfig, IozoneParams, connect, run_iozone
 
 
 def main() -> None:
-    cluster = Cluster(ClusterConfig(
-        transport="rdma-rw",       # the paper's proposed design
+    dep = connect(ClusterConfig.rdma_rw(
         strategy="cache",          # server buffer registration cache (§4.3)
         backend="tmpfs",
     ))
-    nfs = cluster.mounts[0].nfs
+    nfs = dep.mount()
 
     # -- ordinary file work, end to end over simulated RDMA ---------------
-    def session():
-        home, _ = yield from nfs.mkdir(nfs.root, "home")
-        fh, _ = yield from nfs.create(home, "hello.dat")
-        payload = b"hello, rdma world! " * 10_000          # ~190 KB
-        written, attrs = yield from nfs.write(fh, 0, payload)
-        data, eof, _ = yield from nfs.read(fh, 0, written)
-        assert data == payload and eof
-        entries = yield from nfs.readdir(home)
-        return written, [e.name for e in entries]
-
-    written, names = cluster.run(session())
+    # Each verb steps the simulator until its RPC completes: no
+    # generators, no cluster.run.
+    home, _ = nfs.mkdir(nfs.root, "home")
+    fh, _ = nfs.create(home, "hello.dat")
+    payload = b"hello, rdma world! " * 10_000          # ~190 KB
+    written, attrs = nfs.write(fh, 0, payload)
+    data, eof, _ = nfs.read(fh, 0, written)
+    assert data == payload and eof
+    names = [e.name for e in nfs.readdir(home)]
     print(f"wrote+verified {written} bytes; /home contains {names}")
 
     # -- what happened on the wire -----------------------------------------
-    server_hca = cluster.server_node.hca
+    server_hca = dep.cluster.server_node.hca
     print(f"server RDMA Writes: {server_hca.writes.value} bytes "
           f"(READ data pushed into client memory)")
     print(f"server RDMA Reads:  {server_hca.reads.value} bytes "
@@ -44,11 +41,11 @@ def main() -> None:
           f"{len(server_hca.tpt.stags_exposed_ever)}  <- the security win")
 
     # -- a quick bandwidth measurement ---------------------------------------
-    result = run_iozone(cluster, IozoneParams(nthreads=8, ops_per_thread=60))
+    result = run_iozone(dep.cluster, IozoneParams(nthreads=8, ops_per_thread=60))
     print(f"IOzone 8 threads, 128K records: "
           f"read {result.read_mb_s:.0f} MB/s, write {result.write_mb_s:.0f} MB/s, "
           f"client CPU {result.client_cpu_read * 100:.1f}%")
-    print(f"(simulated clock advanced {cluster.sim.now / 1e6:.2f} s)")
+    print(f"(simulated clock advanced {dep.sim.now / 1e6:.2f} s)")
 
 
 if __name__ == "__main__":

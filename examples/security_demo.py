@@ -8,8 +8,8 @@ Read-Write server, and (3) steering-tag guessing odds against each.
 Run:  python examples/security_demo.py
 """
 
+from repro.api import Cluster, ClusterConfig, IozoneParams, run_iozone
 from repro.core.readread import ReadReadServer
-from repro.experiments import Cluster, ClusterConfig
 from repro.nfs import NfsClient
 from repro.security import (
     DoneWithholdingClient,
@@ -17,7 +17,6 @@ from repro.security import (
     audit_server_exposure,
     stag_guess_success_probability,
 )
-from repro.workloads import IozoneParams, run_iozone
 
 
 def attack_read_read() -> None:

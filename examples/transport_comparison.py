@@ -10,8 +10,7 @@ Run:  python examples/transport_comparison.py
 """
 
 from repro.analysis.stats import format_table
-from repro.experiments import Cluster, ClusterConfig
-from repro.workloads import IozoneParams, run_iozone
+from repro.api import Cluster, ClusterConfig, IozoneParams, run_iozone
 
 CONFIGS = [
     ("rdma-rw (proposed)", "rdma-rw", "cache"),

@@ -7,11 +7,11 @@ client/server, and every substrate they need (a byte-real simulated
 InfiniBand verbs layer, TCP/IPoIB/GigE, file systems, disks, page
 caches) on a deterministic discrete-event kernel.
 
-Start with :class:`repro.experiments.Cluster`::
+Start with the public facade, :mod:`repro.api`::
 
-    from repro.experiments import Cluster, ClusterConfig
-    cluster = Cluster(ClusterConfig(transport="rdma-rw", strategy="cache"))
-    nfs = cluster.mounts[0].nfs
+    from repro.api import ClusterConfig, connect
+    nfs = connect(ClusterConfig.rdma_rw(strategy="cache")).mount()
+    fh, _ = nfs.create(nfs.root, "hello.dat")
 
 or from a shell: ``python -m repro list``.
 

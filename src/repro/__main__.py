@@ -22,8 +22,9 @@ import argparse
 import sys
 
 from repro.analysis import LINUX_DDR_RAID, LINUX_SDR, SOLARIS_SDR
-from repro.experiments import Cluster, ClusterConfig, chaos, figures
+from repro.experiments import Cluster, ClusterConfig
 from repro.experiments.cluster import STRATEGIES, TRANSPORTS
+from repro.experiments.registry import EXPERIMENTS, run as run_experiment
 from repro.workloads import (
     IozoneParams,
     OltpParams,
@@ -34,18 +35,6 @@ from repro.workloads import (
 )
 
 PROFILES = {p.name: p for p in (SOLARIS_SDR, LINUX_SDR, LINUX_DDR_RAID)}
-
-EXPERIMENTS = {
-    "table1": figures.run_table1,
-    "fig5": figures.run_fig5,
-    "fig6": figures.run_fig6,
-    "fig7": figures.run_fig7,
-    "fig8": figures.run_fig8,
-    "fig9": figures.run_fig9,
-    "fig10": figures.run_fig10,
-    "security": figures.run_security_audit,
-    "chaos": chaos.run_chaos_soak_table,
-}
 
 
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
@@ -78,8 +67,7 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
-    runner = EXPERIMENTS[args.experiment]
-    result = runner(args.scale, jobs=args.jobs)
+    result = run_experiment(args.experiment, args.scale, jobs=args.jobs)
     print(result)
     chart = _chart_for(result)
     if chart:
@@ -89,7 +77,7 @@ def cmd_run(args) -> int:
 
 #: The figures benchmarked by ``python -m repro bench`` (satellite of
 #: DESIGN.md §8): each produces BENCH_<name>.json next to --output-dir.
-BENCH_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+BENCH_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11")
 
 
 def cmd_bench(args) -> int:
@@ -100,9 +88,8 @@ def cmd_bench(args) -> int:
 
     os.makedirs(args.output_dir, exist_ok=True)
     for name in BENCH_FIGURES:
-        runner = EXPERIMENTS[name]
         t0 = time.perf_counter()
-        result = runner(args.scale, jobs=args.jobs)
+        result = run_experiment(name, args.scale, jobs=args.jobs)
         wall = time.perf_counter() - t0
         payload = {
             "experiment": name,
@@ -254,7 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_bench)
 
     def _add_point_args(p):
-        p.add_argument("--figure", choices=("fig5", "fig6", "fig7", "fig9"),
+        p.add_argument("--figure",
+                       choices=("fig5", "fig6", "fig7", "fig9", "fig11"),
                        default="fig5")
         p.add_argument("--scale", choices=("quick", "full"), default="quick")
         p.add_argument("--quick", action="store_true",

@@ -39,10 +39,17 @@ from repro.core.regcache import ClientRegistrationCache, RegistrationCacheStrate
 from repro.core.readread import ReadReadClient, ReadReadServer
 from repro.core.readwrite import ReadWriteClient, ReadWriteServer
 
-from repro.core.flowcontrol import AdaptiveCreditPolicy, StaticCreditPolicy
+from repro.core.flowcontrol import (
+    AdaptiveCreditPolicy,
+    CreditPolicy,
+    SrqCreditPolicy,
+    StaticCreditPolicy,
+)
 
 __all__ = [
     "AdaptiveCreditPolicy",
+    "CreditPolicy",
+    "SrqCreditPolicy",
     "AllPhysicalStrategy",
     "ChunkList",
     "ClientRegistrationCache",

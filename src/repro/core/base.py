@@ -28,6 +28,7 @@ from repro.core.config import RpcRdmaConfig
 from repro.core.credits import CreditManager
 from repro.core.header import MessageType, RpcRdmaHeader
 from repro.core.strategies import RegisteredRegion, RegistrationStrategy
+from repro.errors import TransportError
 from repro.ib.fabric import IBNode
 from repro.ib.memory import AccessFlags
 from repro.ib.verbs import (
@@ -56,10 +57,6 @@ __all__ = [
 #: Data read chunks (NFS WRITE payload) carry this position; position 0
 #: is reserved for long-call/long-reply message bodies.
 DATA_CHUNK_POSITION = 1
-
-
-class TransportError(Exception):
-    """Fatal transport failure (flushed WRs, protocol violation...)."""
 
 
 def slice_segments(segments: list[Segment], offset: int, length: int) -> list[Segment]:
@@ -154,17 +151,24 @@ class _RdmaEndpoint:
         config: RpcRdmaConfig,
         strategy: RegistrationStrategy,
         name: str,
+        srq=None,
     ):
         self.node = node
         self.sim = node.sim
         self.config = config
         self.strategy = strategy
         self.name = name
+        #: shared receive pool (:mod:`repro.ib.srq`); when set, this
+        #: endpoint posts no private receive ring — inbound messages
+        #: consume buffers from the HCA-wide pool instead.
+        self.srq = srq
+        self._srq_inbox = None
         self._bind_qp(qp)
         self.send_pool = _InlinePool(node, config.credits, config.inline_threshold,
                                      f"{name}.sendpool")
-        self.recv_pool = _InlinePool(node, config.credits, config.inline_threshold,
-                                     f"{name}.recvpool")
+        self.recv_pool = (None if srq is not None else
+                          _InlinePool(node, config.credits, config.inline_threshold,
+                                      f"{name}.recvpool"))
         self.headers_sent = Counter(f"{name}.headers")
         self._posted: deque = deque()
         self.bytes_rdma_read = Counter(f"{name}.rdma_read_bytes")
@@ -193,13 +197,24 @@ class _RdmaEndpoint:
     # -- setup ---------------------------------------------------------
     def _setup_pools(self) -> Generator:
         yield from self.send_pool.setup()
+        if self.srq is not None:
+            # Shared pool: registered once at server start; this
+            # connection only waits for it and opens its inbox.
+            if not self.srq.ready.processed:
+                yield self.srq.ready
+            self._srq_inbox = self.srq.attach(self.qp)
+            return
         yield from self.recv_pool.setup()
         for region in self.recv_pool.regions:
             self.repost_recv(region)
 
     def _teardown_pools(self) -> Generator:
-        """Deregister and free both inline pools (connection teardown)."""
-        for pool in (self.send_pool, self.recv_pool):
+        """Deregister and free the private inline pools (teardown)."""
+        if self.srq is not None:
+            self.srq.detach(self.qp)
+        pools = (self.send_pool,) if self.recv_pool is None else (
+            self.send_pool, self.recv_pool)
+        for pool in pools:
             for region in pool.regions:
                 if region.mr is not None:
                     yield from self.node.hca.tpt.deregister(region.mr)
@@ -625,9 +640,10 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
 
     design = "base"
 
-    def __init__(self, node, qp, config, strategy, name="", credit_policy=None):
+    def __init__(self, node, qp, config, strategy, name="", credit_policy=None,
+                 srq=None):
         name = name or f"{node.name}.rpcrdmad-{self.design}"
-        super().__init__(node, qp, config, strategy, name)
+        super().__init__(node, qp, config, strategy, name, srq=srq)
         self.server: Optional[RpcServer] = None
         self.calls_received = Counter(f"{name}.calls")
         #: server-side credit policy (§7 future work); defaults to the
@@ -650,9 +666,18 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
         self.server = server
         self.sim.process(self._receiver(), name=f"{self.name}.rx")
 
+    def _on_connection_error(self, cause: str) -> None:
+        # Close the SRQ inbox promptly so in-flight deliveries recycle
+        # into the pool instead of parking on a dead connection.
+        if self.srq is not None:
+            self.srq.detach(self.qp)
+
     # -- receive path ---------------------------------------------------------
     def _receiver(self) -> Generator:
         yield self.ready
+        if self.srq is not None:
+            yield from self._srq_receiver()
+            return
         while True:
             if self.failed or not self._posted:
                 self.failed = True
@@ -668,6 +693,31 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
             # Handle each message off the receive loop so long fetches
             # don't head-of-line-block subsequent requests; a connection
             # dying mid-fetch fails that request, not the server.
+            self.sim.process(self._handle_message_safely(header),
+                             name=f"{self.name}.req")
+
+    def _srq_receiver(self) -> Generator:
+        """Receive loop in shared-pool mode: drain this QP's inbox.
+
+        The buffer recycles into the pool the moment the header is
+        decoded (the message body is inline by construction), so pool
+        residency per request is the wire+decode time only — that is
+        what lets one small pool serve hundreds of mounts.
+        """
+        inbox = self._srq_inbox
+        while True:
+            if self.failed:
+                return
+            wr = yield inbox.get()
+            if wr is self.srq.CLOSED:
+                return
+            if not wr.cqe.ok:
+                self.srq.recycle(wr)
+                self.failed = True
+                return
+            raw = wr.received
+            header = RpcRdmaHeader.decode(raw)
+            self.srq.recycle(wr)
             self.sim.process(self._handle_message_safely(header),
                              name=f"{self.name}.req")
 
@@ -730,7 +780,10 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
             call.write_payload = region.peek(length)
         self.calls_received.add()
         assert self.server is not None
-        self.server.submit(call, self._responder(ctx))
+        # Blocking submit: a full bounded run queue stalls this request
+        # process (not the receive loop), which withholds the reply and
+        # its credit grant — backpressure reaches the client in-band.
+        yield from self.server.submit_process(call, self._responder(ctx))
 
     def _handle_done(self, header: RpcRdmaHeader) -> Generator:
         """Read-Read only; the base treats it as a protocol error."""
@@ -779,6 +832,8 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
             self.credit_policy.unregister_connection(self.qp.qp_num)
         self.qp.enter_error("server-initiated disconnect")
         self.failed = True
+        if self.srq is not None:
+            self.srq.detach(self.qp)
         yield from self._reclaim_on_disconnect()
 
     def _reclaim_on_disconnect(self) -> Generator:

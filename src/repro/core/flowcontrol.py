@@ -29,7 +29,8 @@ from dataclasses import dataclass
 
 from repro.sim import Counter
 
-__all__ = ["AdaptiveCreditPolicy", "CreditPolicy", "StaticCreditPolicy"]
+__all__ = ["AdaptiveCreditPolicy", "CreditPolicy", "SrqCreditPolicy",
+           "StaticCreditPolicy"]
 
 
 class CreditPolicy:
@@ -112,4 +113,43 @@ class AdaptiveCreditPolicy(CreditPolicy):
             self.grows.add()
         nconn = max(1, len(self._connections))
         fair = self._target // nconn
+        return max(self.min_grant, min(self.max_grant, fair))
+
+
+class SrqCreditPolicy(CreditPolicy):
+    """Grants backed by a shared receive pool (:mod:`repro.ib.srq`).
+
+    The invariant that keeps a shared pool out of RNR stalls is
+
+        sum of outstanding grants  <=  pool entries
+
+    so each connection's grant is its fair share of the pool, further
+    halved while the dispatcher backlog is high (the same AIMD pressure
+    signal as :class:`AdaptiveCreditPolicy`, but the *total* is pinned
+    to physical buffer capacity instead of a free parameter).
+    """
+
+    def __init__(self, pool, min_grant: int = 1, max_grant: int = 32,
+                 backlog_high: int = 64):
+        if not (1 <= min_grant <= max_grant):
+            raise ValueError("need 1 <= min_grant <= max_grant")
+        self.pool = pool
+        self.min_grant = min_grant
+        self.max_grant = max_grant
+        self.backlog_high = backlog_high
+        self._connections: set[int] = set()
+        self.shrinks = Counter("srqcredits.shrinks")
+
+    def register_connection(self, conn_id: int) -> None:
+        self._connections.add(conn_id)
+
+    def unregister_connection(self, conn_id: int) -> None:
+        self._connections.discard(conn_id)
+
+    def grant_for(self, conn_id: int, backlog: int) -> int:
+        nconn = max(1, len(self._connections))
+        fair = self.pool.entries // nconn
+        if backlog > self.backlog_high:
+            fair //= 2
+            self.shrinks.add()
         return max(self.min_grant, min(self.max_grant, fair))

@@ -141,12 +141,15 @@ class ReadReadServer(RpcRdmaServerBase):
 
     design = "read-read"
 
-    def __init__(self, node, qp, config, strategy, name="", credit_policy=None):
+    def __init__(self, node, qp, config, strategy, name="", credit_policy=None,
+                 srq=None):
         super().__init__(node, qp, config, strategy, name,
-                         credit_policy=credit_policy)
+                         credit_policy=credit_policy, srq=srq)
         # DONE messages consume receives beyond the credit grant; post
         # double the receives so bulk-heavy workloads never go RNR.
-        self.recv_pool.count = config.credits * 2
+        # (In shared-pool mode the wiring layer sizes the pool instead.)
+        if self.recv_pool is not None:
+            self.recv_pool.count = config.credits * 2
         #: xid -> regions awaiting the client's RDMA_DONE.
         self.pending_done: dict[int, list[RegisteredRegion]] = {}
         self.dones_received = Counter(f"{self.name}.dones")

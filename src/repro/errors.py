@@ -1,0 +1,49 @@
+"""Typed exception hierarchy for the whole package.
+
+Every operational failure the simulated stack can raise descends from
+:class:`ReproError`, so callers working through :mod:`repro.api` can
+write one ``except ReproError`` instead of guessing which layer threw.
+The concrete layers keep their historical names (``QPError``,
+``RpcTimeout``, ``NfsError``...) but rebase onto this hierarchy:
+
+``ReproError``
+    ``TransportError`` — fatal connection-level failures
+        ``QPError`` (:mod:`repro.ib.verbs`) — QP entered the error state
+        ``RpcTimeout`` (:mod:`repro.rpc.transport`) — reply never arrived
+    ``NfsStatusError`` — an NFS call completed with a non-OK status
+        ``NfsError`` (:mod:`repro.nfs.protocol`) — carries Nfs3Status + proc
+    ``PoolExhausted`` — a bounded resource pool (shared receive pool,
+        dispatcher run queue) rejected new work
+    ``ProtectionError`` (:mod:`repro.ib.memory`) — TPT validation failure
+
+Configuration mistakes (bad kwargs, unknown names) stay ``ValueError``:
+they are programming errors, not simulated-system failures.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NfsStatusError", "PoolExhausted", "ReproError", "TransportError"]
+
+
+class ReproError(Exception):
+    """Root of every operational error raised by the simulated stack."""
+
+
+class TransportError(ReproError):
+    """Fatal transport failure (flushed WRs, protocol violation...)."""
+
+
+class NfsStatusError(ReproError):
+    """An NFS procedure returned a non-OK status.
+
+    ``status`` holds the protocol-level status object (an
+    ``Nfs3Status`` for the NFSv3 client in this package).
+    """
+
+    def __init__(self, message: str, status=None):
+        super().__init__(message)
+        self.status = status
+
+
+class PoolExhausted(ReproError):
+    """A bounded pool (receive buffers, run-queue slots) is out of capacity."""

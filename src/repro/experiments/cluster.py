@@ -9,7 +9,8 @@ benchmark builds on this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from math import isqrt
 from typing import Optional
 
 from repro.analysis.calibration import SOLARIS_SDR, TestbedProfile
@@ -21,11 +22,13 @@ from repro.core import (
     ReadWriteClient,
     ReadWriteServer,
     RegistrationCacheStrategy,
+    SrqCreditPolicy,
 )
 from repro.core.strategies import AllPhysicalStrategy, FmrStrategy, RegistrationStrategy
 from repro.faults import FaultInjector, FaultPlan
 from repro.fs import BlockFs, DiskConfig, Raid0, TmpFs
 from repro.ib.fabric import Fabric, IBNode
+from repro.ib.srq import SharedReceivePool
 from repro.ib.verbs import QPState
 from repro.nfs import NfsClient, NfsServer
 from repro.rpc import RpcServer, TcpRpcClient, TcpRpcServerTransport
@@ -34,7 +37,18 @@ from repro.rpc.svc import RpcServerCosts
 from repro.sim import Simulator
 from repro.tcpip import TcpConnection, TcpEndpoint
 
-__all__ = ["Cluster", "ClusterConfig", "Mount"]
+__all__ = ["Cluster", "ClusterConfig", "Mount", "default_srq_entries"]
+
+
+def default_srq_entries(nclients: int) -> int:
+    """Auto-size the shared receive pool for ``nclients`` mounts.
+
+    ``16·sqrt(n)`` grows sublinearly (the figure-11 contrast with the
+    per-connection ``credits·n``), floored at 64 (two rings' worth, so
+    small deployments lose nothing) and at ``n`` (every connection can
+    always hold at least one buffer).
+    """
+    return max(64, 16 * isqrt(nclients), nclients)
 
 TRANSPORTS = ("rdma-rw", "rdma-rr", "tcp-ipoib", "tcp-gige")
 STRATEGIES = ("dynamic", "fmr", "cache", "client-cache", "all-physical")
@@ -71,6 +85,18 @@ class ClusterConfig:
     #: Off by default: when off, ``sim.telemetry`` stays ``None`` and
     #: every instrumentation site is a single attribute test.
     telemetry: bool = False
+    #: serve every connection's receives from one shared registered
+    #: pool (:mod:`repro.ib.srq`) instead of per-connection rings.
+    #: Off by default — the paper figures use per-connection pools.
+    srq: bool = False
+    #: shared-pool size in buffers (None = auto-size from nclients).
+    srq_entries: Optional[int] = None
+    #: dispatcher worker threads (None = the profile's calibrated
+    #: ``server_threads``, the paper-figure default).
+    server_workers: Optional[int] = None
+    #: dispatcher run-queue bound (None = unbounded, the historical
+    #: behaviour; bounded queues exert credit backpressure).
+    server_queue_depth: Optional[int] = None
 
     def __post_init__(self):
         if self.transport not in TRANSPORTS:
@@ -83,10 +109,37 @@ class ClusterConfig:
             raise ValueError("need at least one client")
         if self.drc_entries < 0:
             raise ValueError("drc_entries must be non-negative")
+        if self.srq and not self.is_rdma:
+            raise ValueError("srq requires an RDMA transport")
+        if self.srq_entries is not None and self.srq_entries < self.nclients:
+            raise ValueError("srq_entries must cover at least one buffer "
+                             "per client")
+        if self.server_workers is not None and self.server_workers < 1:
+            raise ValueError("server_workers must be >= 1 (or None)")
+        if self.server_queue_depth is not None and self.server_queue_depth < 1:
+            raise ValueError("server_queue_depth must be >= 1 (or None)")
 
     @property
     def is_rdma(self) -> bool:
         return self.transport.startswith("rdma")
+
+    # -- builders (the repro.api entry points) -----------------------------
+    @classmethod
+    def rdma_rw(cls, **kwargs) -> "ClusterConfig":
+        """The paper's proposed Read-Write design (server RDMA Writes)."""
+        return cls(transport="rdma-rw", **kwargs)
+
+    @classmethod
+    def rdma_rr(cls, **kwargs) -> "ClusterConfig":
+        """Callaghan's original Read-Read design (client RDMA Reads)."""
+        return cls(transport="rdma-rr", **kwargs)
+
+    @classmethod
+    def tcp(cls, nic: str = "ipoib", **kwargs) -> "ClusterConfig":
+        """RPC over TCP on ``nic``: ``"ipoib"`` or ``"gige"``."""
+        if nic not in ("ipoib", "gige"):
+            raise ValueError('nic must be "ipoib" or "gige"')
+        return cls(transport=f"tcp-{nic}", **kwargs)
 
 
 @dataclass
@@ -157,10 +210,11 @@ class Cluster:
         self.rpc_server = RpcServer(
             self.sim,
             self.server_node.cpu,
-            nthreads=profile.server_threads,
+            nthreads=config.server_workers or profile.server_threads,
             costs=RpcServerCosts(),
             drc=self.drc,
             name="rpcsvc",
+            max_queue=config.server_queue_depth,
         )
         self.nfs_server = NfsServer(
             self.rpc_server, self.fs,
@@ -171,6 +225,32 @@ class Cluster:
         # cache is a server-global structure; dynamic/FMR are stateless
         # enough that sharing matches a real kernel transport).
         self.server_strategy = self._make_strategy(config.strategy, self.server_node)
+
+        # Shared receive pool (tentpole of the scale-out design): one
+        # registered pool per server HCA, sized sublinearly in client
+        # count, with client credit grants clamped so their sum never
+        # outruns the pool (the RNR-avoidance invariant).
+        self.srq: Optional[SharedReceivePool] = None
+        self.credit_policy = None
+        self.rpcrdma = profile.rpcrdma
+        if config.srq:
+            entries = (config.srq_entries if config.srq_entries is not None
+                       else default_srq_entries(config.nclients))
+            # Read-Read DONE messages consume receives beyond the credit
+            # grant; budget two pool buffers per outstanding call.
+            demand = 2 if config.transport == "rdma-rr" else 1
+            per_client = max(1, min(profile.rpcrdma.credits,
+                                    entries // (demand * config.nclients)))
+            self.srq = SharedReceivePool(
+                self.server_node, entries, profile.rpcrdma.inline_threshold,
+                name="server.srq",
+            )
+            self.sim.process(self.srq.setup(), name="server.srq.setup")
+            self.rpcrdma = replace(profile.rpcrdma, credits=per_client)
+            self.credit_policy = SrqCreditPolicy(
+                self.srq, max_grant=per_client,
+            )
+
         self.server_transports: list = []
         self.mounts: list[Mount] = []
 
@@ -235,9 +315,9 @@ class Cluster:
 
     def _make_server_transport(self, qp_s):
         """Build + attach one RDMA server transport for ``qp_s``."""
-        profile = self.config.profile
         cls = ReadWriteServer if self.config.transport == "rdma-rw" else ReadReadServer
-        server = cls(self.server_node, qp_s, profile.rpcrdma, self.server_strategy)
+        server = cls(self.server_node, qp_s, self.rpcrdma, self.server_strategy,
+                     credit_policy=self.credit_policy, srq=self.srq)
         server.attach(self.rpc_server)
         self.server_transports.append(server)
         return server
@@ -277,7 +357,7 @@ class Cluster:
             client_cls = (
                 ReadWriteClient if config.transport == "rdma-rw" else ReadReadClient
             )
-            client = client_cls(node, qp_c, profile.rpcrdma, client_strategy)
+            client = client_cls(node, qp_c, self.rpcrdma, client_strategy)
             server = self._make_server_transport(qp_s)
             # CM handshake: the client may not send until the server side
             # has pre-posted its receives.
@@ -336,6 +416,24 @@ class Cluster:
         return mount
 
     # -- measurement helpers ----------------------------------------------
+    def server_recv_buffer_bytes(self) -> int:
+        """Registered receive-buffer memory on the server.
+
+        The figure-11 scaling metric: the shared pool's one-time
+        registration vs the per-connection rings' ``credits ×
+        inline_threshold`` per mount.  TCP transports pre-register
+        nothing (socket buffers are not HCA-registered), so they report
+        zero.
+        """
+        if self.srq is not None:
+            return self.srq.registered_bytes
+        total = 0
+        for transport in self.server_transports:
+            pool = getattr(transport, "recv_pool", None)
+            if pool is not None:
+                total += pool.count * pool.size
+        return total
+
     def reset_utilization_windows(self) -> None:
         self.server_node.cpu.reset_utilization_window()
         for node in self.client_nodes:

@@ -1,0 +1,55 @@
+"""Experiment registry: every figure/table behind one uniform signature.
+
+The CLI (and any embedding code) runs experiments through
+:func:`run`, never by importing per-figure functions — adding an
+experiment means one :func:`register` call, not editing dispatch code
+in ``__main__``.  Every runner shares the signature
+``runner(scale, jobs=..., **opts)`` and returns an
+:class:`~repro.experiments.figures.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import chaos, figures
+from repro.experiments.figures import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "register", "run"]
+
+#: name -> runner; insertion order is the ``list`` command's order.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str, runner: Callable[..., ExperimentResult]) -> None:
+    """Add one experiment; names are unique."""
+    if name in EXPERIMENTS:
+        raise ValueError(f"experiment {name!r} already registered")
+    EXPERIMENTS[name] = runner
+
+
+def run(name: str, scale: str = "quick", jobs: int = 1, **opts) -> ExperimentResult:
+    """Run one experiment by name — the single public entry point.
+
+    ``opts`` pass through to the runner (e.g. ``cache_bytes`` for
+    fig10).  Unknown names raise ``KeyError`` listing the registry.
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale, jobs=jobs, **opts)
+
+
+register("table1", figures.run_table1)
+register("fig5", figures.run_fig5)
+register("fig6", figures.run_fig6)
+register("fig7", figures.run_fig7)
+register("fig8", figures.run_fig8)
+register("fig9", figures.run_fig9)
+register("fig10", figures.run_fig10)
+register("fig11", figures.run_fig11)
+register("security", figures.run_security_audit)
+register("chaos", chaos.run_chaos_soak_table)

@@ -13,23 +13,13 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.experiments import figures
-from repro.experiments.chaos import recovery_summary, run_chaos_soak_table
+from repro.experiments.chaos import recovery_summary
+from repro.experiments.registry import EXPERIMENTS, run as run_experiment
 
 __all__ = ["ALL_EXPERIMENTS", "generate", "main", "recovery_summary"]
 
-#: (runner, paper-vs-measured commentary extractor)
-ALL_EXPERIMENTS = [
-    figures.run_table1,
-    figures.run_fig5,
-    figures.run_fig6,
-    figures.run_fig7,
-    figures.run_fig8,
-    figures.run_fig9,
-    figures.run_fig10,
-    figures.run_security_audit,
-    run_chaos_soak_table,
-]
+#: every registered experiment, in registry (paper) order.
+ALL_EXPERIMENTS = list(EXPERIMENTS)
 
 PREAMBLE = """\
 # EXPERIMENTS — paper vs. measured
@@ -53,6 +43,27 @@ Absolute numbers depend on the calibrated profiles in
 * Fig 10 keeps the paper's cache:file ratios (4x, 8x) at 1/16 scale
   (64 MB files vs 256/512 MB server cache, same 8x30 MB/s spindles), so
   the LRU knee lands at the same client count.
+
+## Tracing a figure point (Perfetto recipe)
+
+Any point of the fig 5/6/7/9/11 grids can be re-run with telemetry on
+and inspected span-by-span:
+
+    # nfsstat-style rollup for fig 5, point 0 (RR, 128K records, 1 thread)
+    python -m repro stats --figure fig5 --quick --point 0
+
+    # full span trace of the same point as Chrome trace_event JSON
+    python -m repro trace --figure fig5 --quick --point 0 --out trace.json
+
+Open https://ui.perfetto.dev (or `chrome://tracing`), choose *Open
+trace file* and load `trace.json`.  Each simulated node appears as a
+process (`client0`, `server`); lanes are transports, HCA queue pairs
+(`qp0x100`), server dispatch workers (`svc.w0`...) and the file
+system.  Spans are async begin/end pairs keyed by trace id, so
+clicking one NFS op's `rpc.call` highlights the whole flow — RDMA
+chunk transfers, HCA work-queue occupancy, server dispatch, disk — and
+fault injections/redials show up as instant markers.  Timestamps are
+simulated microseconds (displayed as ms).
 
 ## Known deviations
 
@@ -102,6 +113,41 @@ cluster seed and the plan seed (both default 2007).  Re-running
 identical run, fault for fault.
 """
 
+FIG11_RECIPE = """\
+### Fig 11 recipe (extension: many-client scaling)
+
+Not a paper figure: it projects the Fig 10 story past the 8-node
+testbed to ask what the *server* needs to hold per client.  Three
+series per client count — the Read-Write design with the shared
+receive pool (`ClusterConfig(srq=True)`), the same design with the
+seed's per-connection receive rings, and NFS/TCP on IPoIB — each on
+the tmpfs backend (64 KB records, 1 thread/mount) behind the same
+bounded dispatcher (8 workers, 64-deep run queue), so receive-buffer
+pooling is the only variable between the RDMA series.  Regenerate one
+point with telemetry: `python -m repro stats --figure fig11 --quick
+--point 3` (the SRQ section shows pool occupancy and the low-water
+mark).
+
+Registered receive-buffer memory (1 KB inline buffers, credits = 32):
+
+```
+clients   per-connection rings       shared pool (SRQ)
+          buffers    KB/client       buffers    KB/client
+      1        32          32             64         64
+      4       128          32             64         16
+     16       512          32             64          4
+     64      2048          32            128          2
+    256      8192          32            256          1
+```
+
+Per-connection rings pin `credits x inline_threshold` per mount —
+linear, 32 KB/client forever.  The pool sizes as
+`max(64, 16*sqrt(n), n)` entries *total*; client credit grants are
+clamped to `entries // (demand * nclients)` so the sum of grants never
+exceeds the pool and no receive can arrive to an empty SRQ (RNR-free
+by construction, asserted in tests/test_srq.py).
+"""
+
 BENCH_RECIPE = """\
 ## Benchmarking the simulator itself
 
@@ -112,7 +158,7 @@ simulator, run:
 PYTHONPATH=src python -m repro bench --scale quick --jobs "$(nproc)"
 ```
 
-This times every figure runner and writes `BENCH_fig{5..10}.json`
+This times every figure runner and writes `BENCH_fig{5..11}.json`
 (wall seconds, simulator events stepped, events/sec).  CI runs the
 same command as a smoke job with a wall-clock budget and archives the
 JSON artifacts.  `--jobs N` parallelises the independent figure points
@@ -124,9 +170,9 @@ check.
 
 def generate(scale: str = "quick", jobs: int = 1) -> str:
     sections = [PREAMBLE.format(scale=scale)]
-    for runner in ALL_EXPERIMENTS:
+    for name in ALL_EXPERIMENTS:
         t0 = time.time()
-        result = runner(scale, jobs=jobs)
+        result = run_experiment(name, scale, jobs=jobs)
         elapsed = time.time() - t0
         sections.append(
             f"## {result.experiment}\n\n"
@@ -136,7 +182,9 @@ def generate(scale: str = "quick", jobs: int = 1) -> str:
             "```\n\n"
             f"*(regenerated in {elapsed:.1f}s wall, scale={scale})*\n"
         )
-        if runner is run_chaos_soak_table:
+        if name == "fig11":
+            sections.append(FIG11_RECIPE)
+        if name == "chaos":
             sections.append(CHAOS_RECIPE)
     sections.append(BENCH_RECIPE)
     return "\n".join(sections)

@@ -84,6 +84,10 @@ def run_point(point: Point, cluster=None) -> dict:
             "client_cpu_read": r.client_cpu_read,
             "client_cpu_write": r.client_cpu_write,
             "server_cpu_read": r.server_cpu_read,
+            "read_p99_us": r.read_latency.p99,
+            # Fig 11's memory axis: bytes of registered receive buffers
+            # the server holds for this client population.
+            "recv_registered_bytes": cluster.server_recv_buffer_bytes(),
         }
     elif point.kind == "oltp":
         from repro.workloads import OltpParams, run_oltp

@@ -42,6 +42,7 @@ from repro.ib.verbs import (
     Segment,
     SendWR,
 )
+from repro.ib.srq import SharedReceivePool
 from repro.ib.hca import HCA, HCAConfig
 from repro.ib.fabric import Fabric, IBNode
 
@@ -73,5 +74,6 @@ __all__ = [
     "RegistrationCosts",
     "Segment",
     "SendWR",
+    "SharedReceivePool",
     "TranslationProtectionTable",
 ]

@@ -20,6 +20,7 @@ from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from repro.errors import ReproError
 from repro.sim import Counter, DeterministicRNG, Resource, Simulator
 
 __all__ = [
@@ -36,7 +37,7 @@ __all__ = [
 PAGE_SIZE = 4096
 
 
-class ProtectionError(Exception):
+class ProtectionError(ReproError):
     """A remote (or local) access failed TPT validation."""
 
     def __init__(self, reason: str, stag: int = 0):

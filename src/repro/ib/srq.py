@@ -1,0 +1,183 @@
+"""Shared receive queue: one registered buffer pool per server HCA.
+
+The baseline transport posts a private ring of ``credits`` inline
+receive buffers per connection, so server receive memory grows linearly
+in client count — the scaling bottleneck the paper's §7 calls out and
+RDMAvisor quantifies at datacenter fan-in.  A :class:`SharedReceivePool`
+is the verbs-SRQ answer: every connection's inbound Sends consume
+buffers from a single pool registered once at server start, so the
+registered footprint is sized to the server's concurrency, not to the
+number of mounts.
+
+Mechanics, mirrored from hardware SRQs:
+
+* the HCA delivery path calls :meth:`take` instead of popping the QP's
+  private receive ring (``QueuePair.take_recv`` branches when
+  ``qp.srq`` is set).  An empty pool returns ``None``, which the HCA
+  already turns into RNR retry/backoff — pool exhaustion produces
+  *exactly* the receiver-not-ready semantics real fabrics exhibit;
+* completions are steered back to the owning connection through a
+  per-QP inbox (the SRQ analogue of a shared CQ demultiplexed by
+  ``qp_num``);
+* consumed buffers are recycled into the pool immediately after the
+  endpoint copies the message out (low-watermark repost: the pool
+  tracks ``min_available`` and counts the times it crossed the
+  watermark, so experiments can see how close they ran to exhaustion);
+* a connection dying with deliveries still parked in its inbox drains
+  them back into the pool on :meth:`detach` — buffers never leak across
+  QP kill + redial.
+
+Credit interplay: the wiring layer must keep the sum of client grants
+at or below ``entries`` (see ``core.flowcontrol.SrqCreditPolicy``),
+otherwise well-behaved clients can push the pool into RNR stalls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.ib.memory import AccessFlags
+from repro.ib.verbs import RecvWR, Segment
+from repro.sim import Counter, Event, Store
+
+__all__ = ["SharedReceivePool"]
+
+
+class _Slot:
+    """One pool buffer: allocated and registered exactly once."""
+
+    __slots__ = ("buffer", "mr", "segments")
+
+    def __init__(self, buffer, mr, segments):
+        self.buffer = buffer
+        self.mr = mr
+        self.segments = segments
+
+
+class SharedReceivePool:
+    """SRQ-style shared pool of pre-registered inline receive buffers."""
+
+    #: Sentinel delivered to a connection's inbox on detach so a blocked
+    #: receiver wakes up and exits instead of waiting forever.
+    CLOSED = object()
+
+    def __init__(self, node, entries: int, buffer_bytes: int,
+                 low_watermark: Optional[int] = None, name: str = "srq"):
+        if entries < 1:
+            raise ValueError("shared receive pool needs at least one entry")
+        self.node = node
+        self.sim = node.sim
+        self.entries = entries
+        self.buffer_bytes = buffer_bytes
+        self.low_watermark = (low_watermark if low_watermark is not None
+                              else max(1, entries // 8))
+        self.name = name
+        self._slots: list[_Slot] = []
+        self._avail: deque[RecvWR] = deque()
+        self._inboxes: dict[int, Store] = {}
+        #: fires once every buffer is registered; endpoints gate their
+        #: CM handshake on it exactly like a private pool's setup.
+        self.ready: Event = Event(self.sim)
+        self.takes = Counter(f"{name}.takes")
+        self.recycles = Counter(f"{name}.recycles")
+        self.exhaustions = Counter(f"{name}.exhaustions")
+        self.low_watermark_hits = Counter(f"{name}.low_watermark")
+        self.reclaimed_on_detach = Counter(f"{name}.reclaimed")
+        self.min_available = entries
+
+    # -- accounting -------------------------------------------------------
+    @property
+    def registered_bytes(self) -> int:
+        """Receive memory pinned + TPT-registered for this pool."""
+        return len(self._slots) * self.buffer_bytes
+
+    @property
+    def available(self) -> int:
+        return len(self._avail)
+
+    @property
+    def connections(self) -> int:
+        return len(self._inboxes)
+
+    # -- lifecycle --------------------------------------------------------
+    def setup(self) -> Generator:
+        """Process: allocate + register every buffer, then post them."""
+        tpt = self.node.hca.tpt
+        for _ in range(self.entries):
+            buffer = self.node.arena.alloc(self.buffer_bytes)
+            mr = yield from tpt.register(buffer, AccessFlags.LOCAL_WRITE)
+            slot = _Slot(buffer, mr,
+                         [Segment(mr.stag, buffer.addr, self.buffer_bytes)])
+            self._slots.append(slot)
+            self._post(slot)
+        self.ready.succeed()
+
+    def attach(self, qp) -> Store:
+        """Adopt ``qp``: its inbound Sends now consume pool buffers.
+
+        Returns the connection's inbox Store; completed receives for
+        ``qp`` appear there in arrival order.
+        """
+        qp.srq = self
+        inbox = Store(self.sim, name=f"{self.name}.qp{qp.qp_num:#x}")
+        self._inboxes[qp.qp_num] = inbox
+        return inbox
+
+    def detach(self, qp) -> None:
+        """Release ``qp``: reclaim parked deliveries, close the inbox."""
+        inbox = self._inboxes.pop(qp.qp_num, None)
+        if getattr(qp, "srq", None) is self:
+            qp.srq = None
+        if inbox is None:
+            return
+        while True:
+            ok, wr = inbox.try_get()
+            if not ok:
+                break
+            if wr is not SharedReceivePool.CLOSED:
+                self.recycle(wr)
+                self.reclaimed_on_detach.add()
+        inbox.put(SharedReceivePool.CLOSED)
+
+    # -- HCA delivery path ------------------------------------------------
+    def take(self, qp) -> Optional[RecvWR]:
+        """Claim one buffer for a message arriving on ``qp``.
+
+        ``None`` means pool exhausted — the HCA's RNR retry machinery
+        takes over, exactly as for an empty private receive ring.
+        """
+        if not self._avail:
+            self.exhaustions.add()
+            return None
+        wr = self._avail.popleft()
+        wr.srq_qp = qp
+        self.takes.add()
+        avail = len(self._avail)
+        if avail < self.min_available:
+            self.min_available = avail
+        if avail == self.low_watermark:
+            self.low_watermark_hits.add()
+        return wr
+
+    def _on_complete(self, wr: RecvWR, cqe) -> None:
+        """WR completion hook: steer the delivery to the owner's inbox."""
+        inbox = self._inboxes.get(wr.srq_qp.qp_num)
+        if inbox is None or not cqe.ok:
+            # Connection already torn down (or the WR was flushed):
+            # nobody will consume this delivery — reclaim it now.
+            self.recycle(wr)
+            return
+        inbox.put(wr)
+
+    def recycle(self, wr: RecvWR) -> None:
+        """Return a consumed buffer to the pool (fresh WR, same slot)."""
+        self._post(wr.pool_slot)
+        self.recycles.add()
+
+    def _post(self, slot: _Slot) -> None:
+        wr = RecvWR(self.sim, list(slot.segments))
+        wr.pool_slot = slot
+        wr.srq_qp = None
+        wr.on_complete = self._on_complete
+        self._avail.append(wr)

@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import TransportError
 from repro.sim import Event, Simulator, Store
 
 __all__ = [
@@ -44,7 +45,7 @@ _wr_ids = itertools.count(1)
 _qp_nums = itertools.count(0x100)
 
 
-class QPError(Exception):
+class QPError(TransportError):
     """The QP transitioned to the error state (fatal for the connection)."""
 
 
@@ -115,6 +116,10 @@ class _WorkRequest:
         #: telemetry parent span set by the posting layer — lets the HCA
         #: dispatcher nest its WQE spans under the RPC that posted them.
         self.tspan = None
+        #: synchronous completion hook ``(wr, cqe)`` set by pool owners
+        #: (the shared receive pool steers deliveries through it); None
+        #: costs a single attribute test.
+        self.on_complete = None
 
     def _complete(self, qp: "QueuePair", cq: "CompletionQueue", status: CqeStatus,
                   byte_len: int = 0, error: Optional[str] = None) -> Cqe:
@@ -123,6 +128,8 @@ class _WorkRequest:
         if self.signaled:
             cq.push(cqe)
         self.completion.succeed(cqe)
+        if self.on_complete is not None:
+            self.on_complete(self, cqe)
         return cqe
 
 
@@ -278,6 +285,9 @@ class QueuePair:
         self.peer: Optional["QueuePair"] = None
         self.sq: Store = Store(sim, name=f"qp{self.qp_num}.sq")
         self.rq: deque[RecvWR] = deque()
+        #: shared receive pool (``repro.ib.srq``); when set, inbound
+        #: messages consume pool buffers instead of the private ``rq``.
+        self.srq = None
         self.error_cause: Optional[str] = None
         #: async-event subscribers: each callable(qp, cause) fires once,
         #: synchronously, when the QP transitions to ERROR — the verbs
@@ -304,6 +314,8 @@ class QueuePair:
 
     # -- fabric-internal ----------------------------------------------------
     def take_recv(self) -> Optional[RecvWR]:
+        if self.srq is not None:
+            return self.srq.take(self)
         return self.rq.popleft() if self.rq else None
 
     def enter_error(self, cause: str) -> None:

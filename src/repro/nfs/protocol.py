@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import NfsStatusError
 from repro.fs.api import DirEntry, FileKind, FsAttributes, FsStat
 from repro.rpc.xdr import XdrDecoder, XdrEncoder
 
@@ -86,12 +87,12 @@ FS_STATUS_MAP = {
 }
 
 
-class NfsError(Exception):
+class NfsError(NfsStatusError):
     """Client-side exception carrying the NFS status."""
 
     def __init__(self, status: Nfs3Status, proc: Optional[Nfs3Proc] = None):
-        super().__init__(f"{proc.name if proc else 'NFS'}: {status.name}")
-        self.status = status
+        super().__init__(f"{proc.name if proc else 'NFS'}: {status.name}",
+                         status=status)
         self.proc = proc
 
 

@@ -43,6 +43,7 @@ class RpcServer:
         costs: Optional[RpcServerCosts] = None,
         drc: Optional[DuplicateRequestCache] = None,
         name: str = "rpcsvc",
+        max_queue: Optional[int] = None,
     ):
         self.sim = sim
         self.cpu = cpu
@@ -50,7 +51,8 @@ class RpcServer:
         self.drc = drc
         self.name = name
         self._programs: dict[tuple[int, int], RpcProgramHandler] = {}
-        self.pool = KernelThreadPool(sim, nthreads, self._handle, name=f"{name}.pool")
+        self.pool = KernelThreadPool(sim, nthreads, self._handle,
+                                     name=f"{name}.pool", max_queue=max_queue)
         self.calls_served = Counter(f"{name}.calls")
         self.calls_failed = Counter(f"{name}.failed")
 
@@ -70,27 +72,66 @@ class RpcServer:
         Returns the DRC classification so transports can account for
         duplicates; without a DRC every call is ``NEW``.
         """
-        if self.drc is not None:
-            decision, cached = self.drc.check(call.xid, call.prog, call.proc)
-            if decision is DrcDecision.IN_PROGRESS:
-                if not self.drc.add_waiter(call.xid, call.prog, call.proc, respond):
-                    # Raced with completion: replay through this responder.
-                    _, cached = self.drc.check(call.xid, call.prog, call.proc)
-                    self.sim.process(respond(cached), name=f"{self.name}.replay")
-                return decision
-            if decision is DrcDecision.REPLAY:
-                self.sim.process(respond(cached), name=f"{self.name}.replay")
-                return decision
-            self.drc.begin(call.xid, call.prog, call.proc)
-        self.pool.submit((call, respond))
+        decision = self._drc_precheck(call, respond)
+        if decision is not None:
+            return decision
+        self.pool.submit(self._task(call, respond))
         return DrcDecision.NEW
+
+    def submit_process(self, call: RpcCall,
+                       respond: Callable[[RpcReply], Generator]) -> Generator:
+        """Process: like :meth:`submit`, but a full bounded run queue
+        *blocks* the submitter instead of raising — the transport
+        receive path's backpressure point.  Duplicates bypass the queue
+        exactly as in :meth:`submit` (they consume no slot).
+        """
+        decision = self._drc_precheck(call, respond)
+        if decision is not None:
+            return decision
+        yield from self.pool.reserve_slot()
+        self.pool.submit(self._task(call, respond), reserved=True)
+        return DrcDecision.NEW
+
+    def _drc_precheck(self, call: RpcCall, respond) -> Optional[DrcDecision]:
+        """Duplicate handling shared by both submit paths; None = NEW.
+
+        With a DRC, duplicates of in-flight requests park their
+        responder until the original completes and already-completed
+        requests replay immediately — exactly-once under retransmission.
+        """
+        if self.drc is None:
+            return None
+        decision, cached = self.drc.check(call.xid, call.prog, call.proc)
+        if decision is DrcDecision.IN_PROGRESS:
+            if not self.drc.add_waiter(call.xid, call.prog, call.proc, respond):
+                # Raced with completion: replay through this responder.
+                _, cached = self.drc.check(call.xid, call.prog, call.proc)
+                self.sim.process(respond(cached), name=f"{self.name}.replay")
+            return decision
+        if decision is DrcDecision.REPLAY:
+            self.sim.process(respond(cached), name=f"{self.name}.replay")
+            return decision
+        self.drc.begin(call.xid, call.prog, call.proc)
+        return None
+
+    def _task(self, call: RpcCall, respond) -> tuple:
+        """Build one queue entry, opening its queue-residency span."""
+        telemetry = self.sim.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        qspan = None
+        if tracer is not None:
+            qspan = tracer.begin("rpc.queue", "server", "server", "svc.queue",
+                                 parent=tracer.xid_span(call.xid), xid=call.xid)
+        return call, respond, qspan
 
     @property
     def backlog(self) -> int:
         return self.pool.backlog
 
     def _handle(self, worker: int, task) -> Generator:
-        call, respond = task
+        call, respond, qspan = task
+        if qspan is not None:
+            qspan.end()
         telemetry = self.sim.telemetry
         tracer = telemetry.tracer if telemetry is not None else None
         if tracer is None:

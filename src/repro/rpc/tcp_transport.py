@@ -146,7 +146,10 @@ class TcpRpcServerTransport(RpcServerTransport):
             call = RpcCall.decode(header)
             call.write_payload = payload
             self.calls_received.add()
-            self.server.submit(call, self._responder(call))
+            # Blocking submit: a full bounded run queue stalls the
+            # receive loop, so backpressure propagates through the TCP
+            # window exactly as a real kernel RPC service would.
+            yield from self.server.submit_process(call, self._responder(call))
 
     def _responder(self, call: RpcCall):
         def respond(reply: RpcReply) -> Generator:

@@ -5,13 +5,14 @@ from __future__ import annotations
 import abc
 from typing import Generator
 
+from repro.errors import TransportError
 from repro.rpc.msg import RpcCall, RpcReply
 from repro.rpc.svc import RpcServer
 
 __all__ = ["RpcClientTransport", "RpcServerTransport", "RpcTimeout"]
 
 
-class RpcTimeout(Exception):
+class RpcTimeout(TransportError):
     """The reply never arrived within the caller's patience."""
 
 

@@ -106,6 +106,28 @@ class Telemetry:
                    "RPCs dispatched by the server")
         reg.attach("rpc_server_failed", _events(rpc.calls_failed),
                    "dispatches that raised")
+        pool = rpc.pool
+        reg.attach("rpc_queue_depth", lambda p=pool: float(p.backlog),
+                   "RPCs waiting for a worker thread")
+        reg.attach("rpc_queue_peak", lambda p=pool: float(p.backlog_peak),
+                   "deepest run-queue backlog seen")
+        reg.attach("rpc_queue_waits", _events(pool.queue_waits),
+                   "submitters blocked on a full bounded run queue")
+        srq = getattr(cluster, "srq", None)
+        if srq is not None:
+            reg.attach("srq_entries", lambda s=srq: float(s.entries),
+                       "shared receive pool capacity")
+            reg.attach("srq_available", lambda s=srq: float(s.available),
+                       "receive buffers currently posted and unclaimed")
+            reg.attach("srq_min_available", lambda s=srq: float(s.min_available),
+                       "low-water mark of posted buffers")
+            reg.attach("srq_takes", _events(srq.takes),
+                       "receive buffers claimed by arriving messages")
+            reg.attach("srq_exhaustions", _events(srq.exhaustions),
+                       "arrivals that found the pool empty (RNR path)")
+            reg.attach("srq_registered_bytes",
+                       lambda s=srq: float(s.registered_bytes),
+                       "registered receive-buffer memory, whole server")
         if cluster.drc is not None:
             drc = cluster.drc
             reg.attach("drc_inserts", _events(drc.inserts),

@@ -95,6 +95,21 @@ def _server_section(registry) -> str:
         ("drc_inserts", "drc inserts"),
         ("drc_replays", "drc hits (replays)"),
         ("drc_drops", "drc in-progress drops"),
+        ("rpc_queue_peak", "run-queue peak depth"),
+        ("rpc_queue_waits", "run-queue full waits"),
+    ])
+
+
+def _srq_section(registry) -> str:
+    if registry.get("srq_entries") is None:
+        return ""
+    return _scalar_lines(registry, "Shared receive pool (SRQ):", [
+        ("srq_entries", "pool entries"),
+        ("srq_available", "posted + unclaimed now"),
+        ("srq_min_available", "low-water mark"),
+        ("srq_takes", "buffers claimed"),
+        ("srq_exhaustions", "pool-empty arrivals (RNR)"),
+        ("srq_registered_bytes", "registered recv bytes"),
     ])
 
 
@@ -180,6 +195,7 @@ def render_stats(cluster) -> str:
         _verb_section(telemetry),
         _mount_section(registry),
         _server_section(registry),
+        _srq_section(registry),
         _registration_section(registry),
         _pagecache_section(registry),
         _hca_section(registry),
