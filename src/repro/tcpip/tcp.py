@@ -106,18 +106,25 @@ class TcpConnection:
         # Three-stage pipeline per segment: tx CPU, wire, rx CPU.  Stages
         # are FIFO resources so segments stay ordered within a direction
         # while stage N+1 of one segment overlaps stage N of the next —
-        # which is how a real TCP stack keeps the wire busy.
-        done = [self.sim.process(self._segment(side, peer, seg)) for seg in sizes]
+        # which is how a real TCP stack keeps the wire busy.  The tx slot
+        # is claimed HERE, in message order, not inside the segment
+        # process: otherwise the pipeline's FIFO order would rest on the
+        # incidental boot order of sibling processes, which the schedule
+        # perturbation checker (repro.check.races) deliberately breaks.
+        tx_stage = self._tx_stage[id(side)]
+        done = [
+            self.sim.process(self._segment(side, peer, seg, tx_stage.request()))
+            for seg in sizes
+        ]
         for proc in done:
             yield proc
         self.bytes_sent.add(total)
         self.messages_sent.add(1)
         yield self._rx[id(peer)].put(message)
 
-    def _segment(self, side: TcpEndpoint, peer: TcpEndpoint, seg: int) -> Generator:
+    def _segment(self, side: TcpEndpoint, peer: TcpEndpoint, seg: int, req) -> Generator:
         tx_stage = self._tx_stage[id(side)]
         rx_stage = self._rx_stage[id(side)]
-        req = tx_stage.request()
         yield req
         try:
             # Sender: copy into the stack + checksum + protocol work.
