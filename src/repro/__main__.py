@@ -4,6 +4,7 @@
 
     python -m repro list
     python -m repro run fig5 [--scale quick|full] [--jobs N]
+    python -m repro check [--figure fig5] [--perturb-seed S ...] [--jobs N]
     python -m repro report [--scale quick|full] [--jobs N] [--output EXPERIMENTS.md]
     python -m repro bench [--scale quick|full] [--jobs N] [--output-dir .]
     python -m repro stats --figure fig5 --quick [--point N]
@@ -88,9 +89,9 @@ def cmd_bench(args) -> int:
 
     os.makedirs(args.output_dir, exist_ok=True)
     for name in BENCH_FIGURES:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint-sim: allow[wallclock] (host bench timing)
         result = run_experiment(name, args.scale, jobs=args.jobs)
-        wall = time.perf_counter() - t0
+        wall = time.perf_counter() - t0  # lint-sim: allow[wallclock] (host bench timing)
         payload = {
             "experiment": name,
             "scale": args.scale,
@@ -127,6 +128,22 @@ def _chart_for(result) -> str:
         except (TypeError, ValueError):
             return ""
     return ""
+
+
+def cmd_check(args) -> int:
+    """Correctness suite: purity lint + sanitized + perturbed figure grids."""
+    from repro.check.runner import run_check
+
+    report = run_check(
+        figures=args.figure or None,
+        perturb_seeds=tuple(args.perturb_seed or (1, 2, 3)),
+        scale=args.scale,
+        jobs=args.jobs,
+        lint=not args.no_lint,
+        progress=print,
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
 
 
 def cmd_report(args) -> int:
@@ -228,6 +245,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the point sweep (default 1)")
     p.set_defaults(fn=cmd_run)
 
+    p = sub.add_parser(
+        "check",
+        help="correctness suite: lint + sanitizer + schedule perturbation")
+    from repro.check.runner import CHECK_FIGURES
+
+    p.add_argument("--figure", action="append", choices=CHECK_FIGURES,
+                   help="restrict to one figure grid (repeatable; "
+                        "default: all)")
+    p.add_argument("--perturb-seed", action="append", type=int, default=None,
+                   help="schedule-perturbation seed (repeatable; "
+                        "default: 1 2 3)")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the static purity lint pass")
+    p.set_defaults(fn=cmd_check)
+
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
     p.add_argument("--jobs", type=int, default=1)
@@ -242,7 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_point_args(p):
         p.add_argument("--figure",
-                       choices=("fig5", "fig6", "fig7", "fig9", "fig11"),
+                       choices=("fig5", "fig6", "fig7", "fig8", "fig9",
+                                "fig10", "fig11"),
                        default="fig5")
         p.add_argument("--scale", choices=("quick", "full"), default="quick")
         p.add_argument("--quick", action="store_true",

@@ -1,0 +1,38 @@
+"""Correctness tooling: runtime sanitizer, race detector, purity lint.
+
+Three layers, all surfaced through ``python -m repro check``:
+
+* :class:`Sanitizer` (:mod:`repro.check.sanitizer`) — an ASAN/MSAN-style
+  runtime checker hooked into the HCA/TPT/FMR/SRQ/credit/DRC layers.
+  Attached by building a cluster with ``ClusterConfig(sanitizer=True)``;
+  when off, ``sim.sanitizer`` is ``None`` and every hook site costs one
+  attribute load (the same contract as telemetry).  Violations raise
+  typed :class:`repro.errors.SanitizerError` subclasses.
+* :class:`PerturbedSimulator` (:mod:`repro.check.races`) — a seeded
+  schedule-perturbation engine that shuffles same-timestamp tie-break
+  order; bit-identical figure tables under perturbation prove no result
+  depends on incidental event ordering.  :func:`nondeterminism_guard`
+  additionally traps wall-clock reads and global-RNG draws at runtime.
+* :func:`lint_paths` (:mod:`repro.check.purity`) — the static AST pass
+  behind ``tools/lint_sim.py`` enforcing sim-purity rules on the source
+  tree itself.
+
+The heavyweight figure-grid driver lives in :mod:`repro.check.runner`
+and is imported lazily by the CLI (it pulls in the experiment stack).
+"""
+
+from __future__ import annotations
+
+from repro.check.purity import Finding, lint_file, lint_paths
+from repro.check.races import PerturbedSimulator, nondeterminism_guard
+from repro.check.sanitizer import Sanitizer, Violation
+
+__all__ = [
+    "Finding",
+    "PerturbedSimulator",
+    "Sanitizer",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "nondeterminism_guard",
+]

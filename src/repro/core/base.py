@@ -426,6 +426,9 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
         self._contexts[call.xid] = ctx
         try:
             header = yield from self._build_call(call, ctx)
+            san = self.sim.sanitizer
+            if san is not None:
+                san.advertise(self.node.hca.tpt.name, call.xid, header.chunks)
             waiter = Event(self.sim)
             self._pending[call.xid] = waiter
             yield from self.send_header(header)
@@ -436,6 +439,9 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
         finally:
             self._contexts.pop(call.xid, None)
             self._pending.pop(call.xid, None)
+            san = self.sim.sanitizer
+            if san is not None:
+                san.retire(self.node.hca.tpt.name, call.xid)
             for region in ctx["regions"]:
                 yield from self.strategy.release(region)
             self.credits.release(ctx.get("new_grant"))

@@ -48,6 +48,9 @@ class CreditManager:
         yield self._pool.get(1)
         self._outstanding += 1
         self.outstanding_peak = max(self.outstanding_peak, self._outstanding)
+        san = self.sim.sanitizer
+        if san is not None:
+            san.check_credits(self)
 
     def release(self, new_grant: int | None = None) -> None:
         """Return one credit; optionally apply a refreshed grant size.
@@ -56,6 +59,9 @@ class CreditManager:
         grant withholds refunds until the deficit is absorbed.
         """
         if self._outstanding <= 0:
+            san = self.sim.sanitizer
+            if san is not None:
+                san.credit_underflow(self)
             raise RuntimeError(f"{self.name}: credit released but none outstanding")
         self._outstanding -= 1
         refund = 1
@@ -68,3 +74,6 @@ class CreditManager:
             self._pool.put(refund)
         elif refund < 0:
             self._deficit = -refund
+        san = self.sim.sanitizer
+        if san is not None:
+            san.check_credits(self)

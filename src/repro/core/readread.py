@@ -194,8 +194,9 @@ class ReadReadServer(RpcRdmaServerBase):
             region.fill(message)
             exposed.append(region)
             reply_chunks.read_chunks = [
-                ReadChunk(position=0, segment=seg) for seg in region.segments
-            ] + [c for c in reply_chunks.read_chunks if c.position != 0]
+                *(ReadChunk(position=0, segment=seg) for seg in region.segments),
+                *(c for c in reply_chunks.read_chunks if c.position != 0),
+            ]
             header = RpcRdmaHeader(
                 xid=reply.xid,
                 credits=self.grant(),
@@ -205,12 +206,18 @@ class ReadReadServer(RpcRdmaServerBase):
             )
         if exposed:
             # Lifetime now rests with the client: nothing is released
-            # until (unless!) its RDMA_DONE arrives.
-            self.pending_done[reply.xid] = exposed
+            # until (unless!) its RDMA_DONE arrives.  Merge, don't
+            # overwrite — a DRC replay re-exposes under the same xid and
+            # the single DONE must release both generations.
+            self.pending_done.setdefault(reply.xid, []).extend(exposed)
             self.exposed_bytes_peak = max(
                 self.exposed_bytes_peak,
                 sum(r.length for rs in self.pending_done.values() for r in rs),
             )
+            san = self.sim.sanitizer
+            if san is not None:
+                san.advertise(self.node.hca.tpt.name, reply.xid,
+                              reply_chunks)
         yield from self.send_header(header)
 
     def _handle_done(self, header: RpcRdmaHeader) -> Generator:
@@ -219,13 +226,19 @@ class ReadReadServer(RpcRdmaServerBase):
         regions = self.pending_done.pop(header.xid, None)
         if regions is None:
             return  # duplicate/stray DONE: ignore, as a robust server must
+        san = self.sim.sanitizer
+        if san is not None:
+            san.retire(self.node.hca.tpt.name, header.xid)
         for region in regions:
             yield from self.strategy.release(region)
 
     def _reclaim_on_disconnect(self) -> Generator:
         """Release every window awaiting a DONE that will never come."""
         while self.pending_done:
-            _, regions = self.pending_done.popitem()
+            xid, regions = self.pending_done.popitem()
+            san = self.sim.sanitizer
+            if san is not None:
+                san.retire(self.node.hca.tpt.name, xid)
             for region in regions:
                 yield from self.strategy.release(region)
 

@@ -15,6 +15,8 @@ The concrete layers keep their historical names (``QPError``,
     ``PoolExhausted`` — a bounded resource pool (shared receive pool,
         dispatcher run queue) rejected new work
     ``ProtectionError`` (:mod:`repro.ib.memory`) — TPT validation failure
+    ``SanitizerError`` — an invariant violation caught by the runtime
+        checker (:mod:`repro.check`); one subclass per checked rule
 
 Configuration mistakes (bad kwargs, unknown names) stay ``ValueError``:
 they are programming errors, not simulated-system failures.
@@ -22,7 +24,22 @@ they are programming errors, not simulated-system failures.
 
 from __future__ import annotations
 
-__all__ = ["NfsStatusError", "PoolExhausted", "ReproError", "TransportError"]
+__all__ = [
+    "AccessViolation",
+    "BoundsViolation",
+    "ChunkLifetimeViolation",
+    "CreditViolation",
+    "DrcViolation",
+    "LeakViolation",
+    "NfsStatusError",
+    "NondeterminismViolation",
+    "PoolExhausted",
+    "ReproError",
+    "SanitizerError",
+    "SrqViolation",
+    "StaleStagViolation",
+    "TransportError",
+]
 
 
 class ReproError(Exception):
@@ -47,3 +64,77 @@ class NfsStatusError(ReproError):
 
 class PoolExhausted(ReproError):
     """A bounded pool (receive buffers, run-queue slots) is out of capacity."""
+
+
+class SanitizerError(ReproError):
+    """An invariant violation caught by :mod:`repro.check` at runtime.
+
+    One subclass per checked rule so tests (and CI) can assert which
+    invariant broke.  ``rule`` is the machine-readable rule name used in
+    violation reports and telemetry counters.
+    """
+
+    rule: str = "sanitizer"
+
+
+class BoundsViolation(SanitizerError):
+    """An RDMA access fell outside the registered region's bounds."""
+
+    rule = "bounds"
+
+
+class AccessViolation(SanitizerError):
+    """An RDMA access lacked the needed access rights on the target MR."""
+
+    rule = "access"
+
+
+class StaleStagViolation(SanitizerError):
+    """A WR executed against a steering tag whose registration epoch
+    changed between posting and execution (use-after-deregister or
+    use-after-FMR-unmap, including the stag-reuse stale-rkey window)."""
+
+    rule = "stale-stag"
+
+
+class ChunkLifetimeViolation(SanitizerError):
+    """An RDMA Write landed outside any currently-advertised, unconsumed
+    chunk — the server wrote into client memory it was never offered
+    (or offered for a call that already completed)."""
+
+    rule = "chunk-lifetime"
+
+
+class SrqViolation(SanitizerError):
+    """Shared-receive-pool slot lifecycle broke: a slot was recycled
+    while still posted, or posted twice without an intervening take."""
+
+    rule = "srq"
+
+
+class CreditViolation(SanitizerError):
+    """Per-connection credit conservation broke: more requests in flight
+    than the granted window, or a release without an acquire."""
+
+    rule = "credits"
+
+
+class DrcViolation(SanitizerError):
+    """Duplicate request cache exactly-once assertion failed: the server
+    began executing a call whose (xid, prog, proc) entry was still live."""
+
+    rule = "drc"
+
+
+class LeakViolation(SanitizerError):
+    """Teardown leak report: buffers still pinned or registered after
+    the cluster was torn down (the paper's Read-Read complaint)."""
+
+    rule = "leak"
+
+
+class NondeterminismViolation(SanitizerError):
+    """A nondeterminism source was used inside a running simulation
+    (wall-clock read, unseeded RNG draw)."""
+
+    rule = "nondeterminism"

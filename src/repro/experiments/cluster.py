@@ -97,6 +97,15 @@ class ClusterConfig:
     #: dispatcher run-queue bound (None = unbounded, the historical
     #: behaviour; bounded queues exert credit backpressure).
     server_queue_depth: Optional[int] = None
+    #: attach the runtime RDMA sanitizer (:mod:`repro.check.sanitizer`).
+    #: Off by default: when off, ``sim.sanitizer`` stays ``None`` and
+    #: every check site is a single attribute test.  The sanitizer only
+    #: reads sim state, so results are bit-identical either way.
+    sanitizer: bool = False
+    #: run on a :class:`~repro.check.races.PerturbedSimulator` that
+    #: breaks same-timestamp ties in seeded-random order (None = the
+    #: plain deterministic engine).
+    perturb_seed: Optional[int] = None
 
     def __post_init__(self):
         if self.transport not in TRANSPORTS:
@@ -157,7 +166,18 @@ class Cluster:
     def __init__(self, config: ClusterConfig):
         self.config = config
         profile = config.profile
-        self.sim = Simulator()
+        if config.perturb_seed is not None:
+            from repro.check.races import PerturbedSimulator
+
+            self.sim = PerturbedSimulator(config.perturb_seed)
+        else:
+            self.sim = Simulator()
+        if config.sanitizer:
+            # Attach before any wiring so setup-time registrations and
+            # SRQ posts are tracked from the first event.
+            from repro.check.sanitizer import Sanitizer
+
+            self.sim.sanitizer = Sanitizer(self.sim)
         self.fabric = Fabric(self.sim, seed=config.seed)
         allow_phys = config.strategy == "all-physical"
 

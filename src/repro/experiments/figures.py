@@ -88,11 +88,18 @@ def figure_grid(name: str, scale: str = "quick") -> list[tuple[str, Point]]:
             "linux-sdr",
         )
         return [(f"RW-{label}-t{threads}", p) for label, threads, p in grid]
+    if name == "fig8":
+        return [(f"OLTP-{label}-r{readers}", p)
+                for label, readers, p in _fig8_points(scale)]
+    if name == "fig10":
+        return [(f"{label}-{cache_label}-c{nclients}", p)
+                for label, cache_label, nclients, p in _fig10_points(scale)]
     if name == "fig11":
         return [(f"{series}-c{nclients}", p)
                 for series, nclients, p in _fig11_points(scale)]
     raise ValueError(
-        f"no point grid for {name!r} (choose fig5, fig6, fig7, fig9 or fig11)"
+        f"no point grid for {name!r} (choose fig5, fig6, fig7, fig8, fig9, "
+        f"fig10 or fig11)"
     )
 
 
@@ -249,8 +256,8 @@ def run_fig9(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------- Fig 8
-def run_fig8(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
-    """Fig 8: FileBench OLTP ops/s and CPU/op by strategy."""
+def _fig8_points(scale: str) -> list[tuple[str, int, Point]]:
+    """OLTP strategy grid: (strategy label, readers, point)."""
     readers_list = (10, 50, 100) if scale == "quick" else (10, 25, 50, 100, 150, 200)
     ops = _ops(scale, 4, 8)
     grid = []
@@ -267,6 +274,12 @@ def run_fig8(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
                               "log_writers": 1, "datafile_bytes": 16 << 20,
                               "ops_per_thread": ops}),
             ))
+    return grid
+
+
+def run_fig8(scale: str = "quick", jobs: int = 1) -> ExperimentResult:
+    """Fig 8: FileBench OLTP ops/s and CPU/op by strategy."""
+    grid = _fig8_points(scale)
     results = sweep([p for _, _, p in grid], jobs)
     rows = [[label, readers, round(r["ops_per_s"]),
              round(r["client_cpu_us_per_op"], 1)]
@@ -293,9 +306,9 @@ FIG10_CACHE_SMALL = 4 * FIG10_FILE_BYTES
 FIG10_CACHE_BIG = 8 * FIG10_FILE_BYTES
 
 
-def run_fig10(scale: str = "quick", cache_bytes: Optional[int] = None,
-              jobs: int = 1) -> ExperimentResult:
-    """Fig 10: multi-client IOzone READ over RDMA vs IPoIB vs GigE."""
+def _fig10_points(scale: str, cache_bytes: Optional[int] = None
+                  ) -> list[tuple[str, str, int, Point]]:
+    """Multi-client transport grid: (transport, cache label, clients, point)."""
     clients_list = (1, 2, 3, 5, 8) if scale == "quick" else tuple(range(1, 9))
     caches = ([cache_bytes] if cache_bytes is not None
               else [FIG10_CACHE_SMALL, FIG10_CACHE_BIG])
@@ -317,6 +330,13 @@ def run_fig10(scale: str = "quick", cache_bytes: Optional[int] = None,
                                   "file_bytes": FIG10_FILE_BYTES,
                                   "ops_per_thread": None}),
                 ))
+    return grid
+
+
+def run_fig10(scale: str = "quick", cache_bytes: Optional[int] = None,
+              jobs: int = 1) -> ExperimentResult:
+    """Fig 10: multi-client IOzone READ over RDMA vs IPoIB vs GigE."""
+    grid = _fig10_points(scale, cache_bytes)
     results = sweep([p for _, _, _, p in grid], jobs)
     rows = [[label, cache_label, nclients, round(r["read_mb_s"], 1)]
             for (label, cache_label, nclients, _), r in zip(grid, results)]

@@ -119,6 +119,13 @@ def run_point(point: Point, cluster=None) -> dict:
         raise ValueError(f"unknown point kind {point.kind!r}")
     out["events"] = cluster.sim.steps
     out["sim_us"] = cluster.sim.now
+    san = cluster.sim.sanitizer
+    if san is not None:
+        # Leak audit AFTER the metrics are captured: draining in-flight
+        # DONEs moves sim time but can no longer change the result dict,
+        # so sanitized runs stay bit-identical to baseline.
+        cluster.sim.run(until=cluster.sim.now + 1_000_000.0)
+        san.check_teardown(cluster)
     return out
 
 

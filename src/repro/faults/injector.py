@@ -71,7 +71,7 @@ class FaultInjector(LinkFaultHook):
         if self._armed:
             raise RuntimeError("fault plan already armed")
         self._armed = True
-        nodes = [self.cluster.server_node] + list(self.cluster.client_nodes)
+        nodes = [self.cluster.server_node, *self.cluster.client_nodes]
         for node in nodes:
             port = node.hca.port
             self._port_nodes[id(port)] = node.name
@@ -91,7 +91,7 @@ class FaultInjector(LinkFaultHook):
 
     def disarm(self) -> None:
         """Remove the hooks (scheduled one-shot faults may still fire)."""
-        for node in [self.cluster.server_node] + list(self.cluster.client_nodes):
+        for node in [self.cluster.server_node, *self.cluster.client_nodes]:
             if node.hca.port.fault_hook is self:
                 node.hca.port.fault_hook = None
         raid = getattr(self.cluster, "raid", None)

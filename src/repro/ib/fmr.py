@@ -116,6 +116,9 @@ class FMRPool:
         if access.remote:
             self.tpt.stags_exposed_ever.add(stag)
         self.maps.add()
+        san = self.tpt.sim.sanitizer
+        if san is not None:
+            san.on_register(self.tpt, mr)
         return mr
 
     def unmap(self, mr: FMRRegion) -> Generator:
@@ -140,6 +143,9 @@ class FMRPool:
         # The entry (slot + stag) survives; only the binding is dropped.
         self.tpt._entries[mr.stag] = None  # type: ignore[assignment]
         self._free_stags.append(mr.stag)
+        san = self.tpt.sim.sanitizer
+        if san is not None:
+            san.on_invalidate(self.tpt, mr)
         mr.buffer.pinned_pages -= npages
         yield from self.tpt.cpu.consume(npages * self.tpt.costs.unpin_cpu_per_page_us)
         self.tpt.deregistrations.add()

@@ -111,7 +111,9 @@ class HCA:
         self._ord_slots: dict[int, Resource] = {}
         self._read_engines: dict[int, Resource] = {}
         self._delivery_locks: dict[int, Resource] = {}
-        self._outstanding_reads: dict[int, set] = {}
+        # done-events of in-flight reads, dict-as-ordered-set so drain
+        # order is insertion order, never id() order.
+        self._outstanding_reads: dict[int, dict] = {}
         self._inbound_reads_active: dict[int, int] = {}
         self.max_inbound_reads_seen: int = 0
 
@@ -147,7 +149,7 @@ class HCA:
         self._delivery_locks[qp.qp_num] = Resource(
             self.sim, capacity=1, name=f"qp{qp.qp_num}.deliver"
         )
-        self._outstanding_reads[qp.qp_num] = set()
+        self._outstanding_reads[qp.qp_num] = {}
         self._inbound_reads_active[qp.qp_num] = 0
         qp.state = QPState.RTS
         self.sim.process(self._dispatcher(qp), name=f"{self.name}.qp{qp.qp_num}")
@@ -243,6 +245,9 @@ class HCA:
     # -- SEND ---------------------------------------------------------------
     def _execute_send(self, qp: QueuePair, wr: SendWR) -> Generator:
         peer_hca: HCA = qp.peer.hca
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_wr_execute(self, wr)
         try:
             payload = wr.inline if wr.inline is not None else self._gather(wr.segments)
         except ProtectionError as exc:
@@ -305,6 +310,9 @@ class HCA:
     # -- RDMA WRITE -----------------------------------------------------------
     def _execute_write(self, qp: QueuePair, wr: RdmaWriteWR) -> Generator:
         peer_hca: HCA = qp.peer.hca
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_wr_execute(self, wr)
         try:
             payload = self._gather(wr.local)
         except ProtectionError as exc:
@@ -321,6 +329,9 @@ class HCA:
         lock = self._delivery_locks[qp.qp_num].request()
         yield lock
         try:
+            san = self.sim.sanitizer
+            if san is not None:
+                san.on_rdma_write_target(peer_hca.tpt, wr, len(payload))
             try:
                 # Target-side validation: TPT or (if honoured) the global stag.
                 if wr.remote.stag == GLOBAL_STAG:
@@ -350,7 +361,7 @@ class HCA:
         slot = self._ord_slots[qp.qp_num].request()
         yield slot
         done = self.sim.event()
-        self._outstanding_reads[qp.qp_num].add(done)
+        self._outstanding_reads[qp.qp_num][done] = None
         # Tiny request packet to the responder; SQ then moves on.
         yield from self.port.transfer(qp.peer.hca.port, _READ_REQUEST_BYTES)
         self.sim.process(self._read_response(qp, wr, slot, done),
@@ -379,6 +390,9 @@ class HCA:
             req = engine.request()
             yield req
             try:
+                san = self.sim.sanitizer
+                if san is not None:
+                    san.on_rdma_read_target(peer_hca.tpt, wr)
                 try:
                     if wr.remote.stag == GLOBAL_STAG:
                         buf, off = peer_hca.phys.resolve(wr.remote.addr, wr.remote.length)
@@ -400,6 +414,8 @@ class HCA:
             finally:
                 engine.release(req)
                 peer_hca._inbound_reads_active[peer_qp.qp_num] -= 1
+            if san is not None:
+                san.on_wr_execute(self, wr)
             try:
                 self._scatter(wr.local, payload)
             except ProtectionError as exc:
@@ -412,7 +428,7 @@ class HCA:
             if span is not None:
                 span.end()
             self._ord_slots[qp.qp_num].release(slot)
-            self._outstanding_reads[qp.qp_num].discard(done)
+            self._outstanding_reads[qp.qp_num].pop(done, None)
             if not done.triggered:
                 done.succeed()
 

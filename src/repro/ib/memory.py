@@ -311,6 +311,9 @@ class MemoryRegion:
         if self.valid:
             self.valid = False
             self.tpt._entries.pop(self.stag, None)
+            san = self.tpt.sim.sanitizer
+            if san is not None:
+                san.on_invalidate(self.tpt, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "valid" if self.valid else "stale"
@@ -394,6 +397,9 @@ class TranslationProtectionTable:
         self.registrations.add()
         if access.remote:
             self.stags_exposed_ever.add(stag)
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_register(self, mr)
         return mr
 
     def deregister(self, mr: MemoryRegion) -> Generator:

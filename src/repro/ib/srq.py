@@ -47,12 +47,13 @@ __all__ = ["SharedReceivePool"]
 class _Slot:
     """One pool buffer: allocated and registered exactly once."""
 
-    __slots__ = ("buffer", "mr", "segments")
+    __slots__ = ("buffer", "mr", "segments", "index")
 
-    def __init__(self, buffer, mr, segments):
+    def __init__(self, buffer, mr, segments, index):
         self.buffer = buffer
         self.mr = mr
         self.segments = segments
+        self.index = index
 
 
 class SharedReceivePool:
@@ -108,7 +109,8 @@ class SharedReceivePool:
             buffer = self.node.arena.alloc(self.buffer_bytes)
             mr = yield from tpt.register(buffer, AccessFlags.LOCAL_WRITE)
             slot = _Slot(buffer, mr,
-                         [Segment(mr.stag, buffer.addr, self.buffer_bytes)])
+                         [Segment(mr.stag, buffer.addr, self.buffer_bytes)],
+                         len(self._slots))
             self._slots.append(slot)
             self._post(slot)
         self.ready.succeed()
@@ -153,6 +155,9 @@ class SharedReceivePool:
         wr = self._avail.popleft()
         wr.srq_qp = qp
         self.takes.add()
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_srq_take(self, wr.pool_slot)
         avail = len(self._avail)
         if avail < self.min_available:
             self.min_available = avail
@@ -176,6 +181,9 @@ class SharedReceivePool:
         self.recycles.add()
 
     def _post(self, slot: _Slot) -> None:
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_srq_post(self, slot)
         wr = RecvWR(self.sim, list(slot.segments))
         wr.pool_slot = slot
         wr.srq_qp = None

@@ -303,6 +303,9 @@ class QueuePair:
             raise QPError(f"QP {self.qp_num:#x} not connected")
         if wr.opcode is Opcode.RECV:
             raise QPError("receive WR posted to send queue")
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_post_send(self, wr)
         self.sq.put(wr)
         return wr
 

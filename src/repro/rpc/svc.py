@@ -111,6 +111,9 @@ class RpcServer:
         if decision is DrcDecision.REPLAY:
             self.sim.process(respond(cached), name=f"{self.name}.replay")
             return decision
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_drc_begin(self.drc, call.xid, call.prog, call.proc)
         self.drc.begin(call.xid, call.prog, call.proc)
         return None
 

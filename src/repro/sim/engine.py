@@ -322,6 +322,11 @@ class Simulator:
         #: the Process currently being resumed; the span tracer keys its
         #: task-span map on this to nest same-process spans.
         self.active_process = None
+        #: runtime invariant checker (repro.check.Sanitizer) or None.
+        #: Same overhead contract as ``telemetry``: one attribute load
+        #: plus ``is None`` per instrumented site when off; when on it
+        #: only reads sim state, so results stay bit-identical.
+        self.sanitizer = None
 
     # -- construction helpers -------------------------------------------
     def event(self) -> Event:

@@ -139,7 +139,7 @@ class Telemetry:
         reg.attach("nfsd_errors", _events(cluster.nfs_server.errors),
                    "NFS procedures that returned an error status")
 
-        for node in [cluster.server_node] + list(cluster.client_nodes):
+        for node in [cluster.server_node, *cluster.client_nodes]:
             hca = node.hca
             n = node.name
             reg.attach("hca_send_ops", _events(hca.sends),
@@ -161,6 +161,16 @@ class Telemetry:
                        "RDMA accesses refused by the TPT", node=n)
             reg.attach("tpt_live_entries", lambda t=tpt: float(t.live_entries),
                        "currently valid TPT entries", node=n)
+
+        san = cluster.sim.sanitizer
+        if san is not None:
+            reg.attach("sanitizer_violations",
+                       lambda s=san: float(len(s.violations)),
+                       "runtime sanitizer violations recorded")
+            for rule in san.RULES:
+                reg.attach("sanitizer_rule_violations",
+                           lambda s=san, r=rule: float(s.counts.get(r, 0)),
+                           "sanitizer violations for one rule", rule=rule)
 
         self._attach_strategy(cluster.server_strategy, side="server")
         for mount in cluster.mounts:

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Standalone sim-purity lint over the source tree.
+
+Usage::
+
+    python tools/lint_sim.py [path ...]       # default: src/repro
+
+Exit status 0 when clean, 1 when any finding survives suppression.
+Rules and the ``# lint-sim: allow[rule]`` suppression syntax are
+documented in :mod:`repro.check.purity` and DESIGN.md §11.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.check.purity import lint_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    paths = [Path(a) for a in args] or [REPO_ROOT / "src" / "repro"]
+    for path in paths:
+        if not path.exists():
+            print(f"lint_sim: no such path: {path}", file=sys.stderr)
+            return 2
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    checked = ", ".join(str(p) for p in paths)
+    if findings:
+        print(f"lint_sim: {len(findings)} finding(s) in {checked}")
+        return 1
+    print(f"lint_sim: clean ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
