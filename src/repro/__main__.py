@@ -4,6 +4,7 @@
 
     python -m repro list
     python -m repro run fig5 [--scale quick|full] [--jobs N]
+    python -m repro attack --figure fig12 [--scale quick|full] [--jobs N]
     python -m repro check [--figure fig5] [--perturb-seed S ...] [--jobs N]
     python -m repro report [--scale quick|full] [--jobs N] [--output EXPERIMENTS.md]
     python -m repro bench [--scale quick|full] [--jobs N] [--output-dir .]
@@ -146,6 +147,13 @@ def cmd_check(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_attack(args) -> int:
+    """Run the adversary-campaign figure through the experiments registry."""
+    result = run_experiment(args.figure, args.scale, jobs=args.jobs)
+    print(result)
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments.report import generate
 
@@ -262,6 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the static purity lint pass")
     p.set_defaults(fn=cmd_check)
 
+    p = sub.add_parser(
+        "attack",
+        help="adversary campaign vs the mitigation ladder (fig12)")
+    p.add_argument("--figure", choices=("fig12",), default="fig12")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("--jobs", type=int, default=1)
+    p.set_defaults(fn=cmd_attack)
+
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
     p.add_argument("--jobs", type=int, default=1)
@@ -277,7 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_point_args(p):
         p.add_argument("--figure",
                        choices=("fig5", "fig6", "fig7", "fig8", "fig9",
-                                "fig10", "fig11"),
+                                "fig10", "fig11", "fig12"),
                        default="fig5")
         p.add_argument("--scale", choices=("quick", "full"), default="quick")
         p.add_argument("--quick", action="store_true",

@@ -240,6 +240,10 @@ class Sanitizer:
 
     def on_rdma_write_target(self, tpt, wr, nbytes: int) -> None:
         """An RDMA Write is landing in ``tpt``'s memory."""
+        if getattr(wr, "adversarial", False):
+            # Modeled attack traffic (repro.security): the TPT's NAK is
+            # the *expected* outcome, not an invariant violation.
+            return
         remote = wr.remote
         if remote.stag == GLOBAL_STAG:
             return
@@ -250,6 +254,8 @@ class Sanitizer:
 
     def on_rdma_read_target(self, tpt, wr) -> None:
         """An RDMA Read is being served from ``tpt``'s memory."""
+        if getattr(wr, "adversarial", False):
+            return
         remote = wr.remote
         if remote.stag == GLOBAL_STAG:
             return

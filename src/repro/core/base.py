@@ -34,6 +34,7 @@ from repro.ib.memory import AccessFlags
 from repro.ib.verbs import (
     CqeStatus,
     QPError,
+    QPState,
     QueuePair,
     RdmaReadWR,
     RdmaWriteWR,
@@ -44,6 +45,7 @@ from repro.ib.verbs import (
 from repro.rpc.msg import RpcCall, RpcReply, frame_message, unframe_message
 from repro.rpc.svc import RpcServer
 from repro.rpc.transport import RpcClientTransport, RpcServerTransport, RpcTimeout
+from repro.rpc.xdr import XdrError
 from repro.sim import AnyOf, Counter, Event, Store
 
 __all__ = [
@@ -248,6 +250,13 @@ class _RdmaEndpoint:
         if not wr.cqe.ok:
             self.failed = True
         self.send_pool.free.put(region)
+
+    def _crypt(self, nbytes: int) -> Generator:
+        """Process: one AES pass over ``nbytes`` when the encrypted
+        payload path is configured; zero events when it is off."""
+        if not self.config.aes_payload or nbytes <= 0:
+            return
+        yield from self.node.cpu.crypt(nbytes)
 
     def repost_recv(self, region: RegisteredRegion) -> None:
         wr = RecvWR(self.sim, list(region.segments))
@@ -554,6 +563,7 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
             # RPC long call: body moves as position-0 read chunks.
             region = yield from self.strategy.acquire(len(message), AccessFlags.REMOTE_READ)
             yield from self.node.cpu.copy(len(message))
+            yield from self._crypt(len(message))
             region.fill(message)
             ctx["regions"].append(region)
             chunks.read_chunks = [
@@ -586,6 +596,7 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
             region = yield from self.strategy.acquire(len(payload), AccessFlags.REMOTE_READ)
             yield from self.node.cpu.copy(len(payload))
             region.fill(payload)
+        yield from self._crypt(len(payload))
         ctx["regions"].append(region)
         chunks.read_chunks.extend(
             ReadChunk(position=DATA_CHUNK_POSITION, segment=seg)
@@ -647,7 +658,7 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
     design = "base"
 
     def __init__(self, node, qp, config, strategy, name="", credit_policy=None,
-                 srq=None):
+                 srq=None, policy=None):
         name = name or f"{node.name}.rpcrdmad-{self.design}"
         super().__init__(node, qp, config, strategy, name, srq=srq)
         self.server: Optional[RpcServer] = None
@@ -657,7 +668,17 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
         self.credit_policy = credit_policy
         if credit_policy is not None:
             credit_policy.register_connection(qp.qp_num)
+        #: security policy (misbehavior scoring / throttle / quarantine);
+        #: None keeps every hardening hook off the hot path.
+        self.policy = policy
+        self.malformed_received = Counter(f"{name}.malformed")
         self.ready = self.sim.process(self._setup_pools(), name=f"{name}.setup")
+
+    @property
+    def client_id(self) -> str:
+        """The node name of the client this transport serves."""
+        name = self.qp.peer.hca.name
+        return name.split(".")[0] if "." in name else name
 
     def grant(self) -> int:
         """Credits field for the next reply (policy- or config-driven)."""
@@ -695,7 +716,15 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
                 return
             raw = wr.received
             self.repost_recv(wr.pool_region)
-            header = RpcRdmaHeader.decode(raw)
+            try:
+                header = RpcRdmaHeader.decode(raw)
+            except XdrError:
+                # Garbage frame (flooding/fuzzing client): drop it, score
+                # the sender, keep the receive loop alive.
+                self.malformed_received.add()
+                if self.policy is not None:
+                    self.policy.record_malformed(self.client_id)
+                continue
             # Handle each message off the receive loop so long fetches
             # don't head-of-line-block subsequent requests; a connection
             # dying mid-fetch fails that request, not the server.
@@ -722,7 +751,14 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
                 self.failed = True
                 return
             raw = wr.received
-            header = RpcRdmaHeader.decode(raw)
+            try:
+                header = RpcRdmaHeader.decode(raw)
+            except XdrError:
+                self.srq.recycle(wr)
+                self.malformed_received.add()
+                if self.policy is not None:
+                    self.policy.record_malformed(self.client_id)
+                continue
             self.srq.recycle(wr)
             self.sim.process(self._handle_message_safely(header),
                              name=f"{self.name}.req")
@@ -755,6 +791,11 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
             span.end()
 
     def _handle_message_inner(self, header: RpcRdmaHeader) -> Generator:
+        if self.policy is not None:
+            # Throttled clients wait out their penalty before dispatch.
+            penalty = self.policy.throttle_penalty_us(self.client_id)
+            if penalty > 0:
+                yield self.sim.timeout(penalty)
         yield from self.node.cpu.consume(self.config.per_op_cpu_us)
         ctx: dict = {"regions": [], "header": header}
         # 1. Obtain the RPC message (inline or long call).
@@ -763,6 +804,7 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
             length = sum(c.length for c in body_chunks)
             region = yield from self.strategy.acquire(length, AccessFlags.LOCAL_WRITE)
             yield from self.fetch_chunks([c.segment for c in body_chunks], region, length)
+            yield from self._crypt(length)
             message = region.peek(length)
             yield from self.strategy.release(region)
         else:
@@ -783,8 +825,11 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
             region = yield from self.strategy.acquire(length, AccessFlags.LOCAL_WRITE)
             ctx["regions"].append(region)
             yield from self.fetch_chunks([c.segment for c in data_chunks], region, length)
+            yield from self._crypt(length)
             call.write_payload = region.peek(length)
         self.calls_received.add()
+        if self.policy is not None:
+            call.client_id = self.client_id
         assert self.server is not None
         # Blocking submit: a full bounded run queue stalls this request
         # process (not the receive loop), which withholds the reply and
@@ -837,6 +882,13 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
         if self.credit_policy is not None:
             self.credit_policy.unregister_connection(self.qp.qp_num)
         self.qp.enter_error("server-initiated disconnect")
+        # A CM disconnect reaches the peer too: error the client's QP so
+        # its pending calls flush instead of waiting on replies that can
+        # never arrive (a quarantine eviction must not strand the very
+        # client it evicts — or any honest call it had in flight).
+        peer = self.qp.peer
+        if peer is not None and peer.state is not QPState.ERROR:
+            peer.enter_error("server-initiated disconnect (remote)")
         self.failed = True
         if self.srq is not None:
             self.srq.detach(self.qp)

@@ -24,6 +24,20 @@ class RpcRdmaConfig:
     is event-for-event identical to a transport without the recovery
     layer.  Reconnection on a dead QP works even without timers because
     flushed work requests wake the waiting calls.
+
+    The hardening knobs all default to *off* (``None``/``False``) and
+    are inert when unset: no lease timers are scheduled, no quota is
+    enforced, no misbehavior is scored and no crypt cost is charged, so
+    default-config figure tables are bit-identical with or without this
+    code.  ``lease_timeout_us`` bounds how long a Read-Read exposure
+    may await its ``RDMA_DONE`` before the server reclaims (and
+    deregisters — a sanitizer-visible epoch bump) the region.
+    ``exposure_quota_bytes`` caps one client's concurrently exposed
+    bytes; admission past the cap evicts that client's oldest pending
+    exposure first.  The misbehavior thresholds drive the WARN →
+    throttle → quarantine escalation in
+    :class:`repro.security.policy.SecurityPolicy`, and ``aes_payload``
+    charges ``cpu.crypt`` per payload byte on both ends.
     """
 
     inline_threshold: int = 1024
@@ -41,6 +55,17 @@ class RpcRdmaConfig:
     backoff_jitter: float = 0.1                # ± fraction of each delay
     max_reconnects: int = 4                    # redials per call before giving up
     reconnect_backoff_us: float = 1_000.0      # base delay before redialing
+    #: Read-Read exposure lease; None = exposures await DONE forever.
+    lease_timeout_us: Optional[float] = None
+    #: per-client cap on concurrently exposed bytes; None = unlimited.
+    exposure_quota_bytes: Optional[int] = None
+    #: misbehavior score thresholds; None disables that escalation stage.
+    misbehavior_warn: Optional[int] = None
+    misbehavior_throttle: Optional[int] = None
+    misbehavior_quarantine: Optional[int] = None
+    throttle_delay_us: float = 50.0            # added per call while throttled
+    #: encrypt payloads end-to-end, charging cpu.crypt per byte both ends.
+    aes_payload: bool = False
 
     def __post_init__(self):
         if self.inline_threshold < 256:
@@ -59,3 +84,14 @@ class RpcRdmaConfig:
             raise ValueError("backoff factor must be >= 1")
         if not 0.0 <= self.backoff_jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if self.lease_timeout_us is not None and self.lease_timeout_us <= 0:
+            raise ValueError("lease timeout must be positive (or None)")
+        if self.exposure_quota_bytes is not None and self.exposure_quota_bytes <= 0:
+            raise ValueError("exposure quota must be positive (or None)")
+        for name in ("misbehavior_warn", "misbehavior_throttle",
+                     "misbehavior_quarantine"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 (or None)")
+        if self.throttle_delay_us < 0:
+            raise ValueError("throttle delay must be non-negative")

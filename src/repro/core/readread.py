@@ -118,6 +118,7 @@ class ReadReadClient(RpcRdmaClientBase):
         bounce: RegisteredRegion = yield self.bounce_pool.get()
         try:
             yield from self.fetch_chunks(segments, bounce, length)
+            yield from self._crypt(length)
             # The copy the Read-Write design eliminates (Fig 6's CPU gap):
             # bounce buffer -> application memory.
             yield from self.node.cpu.copy(length)
@@ -142,9 +143,9 @@ class ReadReadServer(RpcRdmaServerBase):
     design = "read-read"
 
     def __init__(self, node, qp, config, strategy, name="", credit_policy=None,
-                 srq=None):
+                 srq=None, policy=None):
         super().__init__(node, qp, config, strategy, name,
-                         credit_policy=credit_policy, srq=srq)
+                         credit_policy=credit_policy, srq=srq, policy=policy)
         # DONE messages consume receives beyond the credit grant; post
         # double the receives so bulk-heavy workloads never go RNR.
         # (In shared-pool mode the wiring layer sizes the pool instead.)
@@ -154,6 +155,8 @@ class ReadReadServer(RpcRdmaServerBase):
         self.pending_done: dict[int, list[RegisteredRegion]] = {}
         self.dones_received = Counter(f"{self.name}.dones")
         self.exposed_bytes_peak = 0
+        self.lease_reclaims = Counter(f"{self.name}.lease_reclaims")
+        self.quota_evictions = Counter(f"{self.name}.quota_evictions")
 
     def _respond(self, ctx: dict, reply: RpcReply) -> Generator:
         reply_chunks = ChunkList()
@@ -171,6 +174,7 @@ class ReadReadServer(RpcRdmaServerBase):
                 region = yield from self.strategy.acquire(
                     len(payload), AccessFlags.REMOTE_READ
                 )
+                yield from self._crypt(len(payload))
                 region.fill(payload)
                 exposed.append(region)
                 from repro.core.base import slice_segments
@@ -191,6 +195,7 @@ class ReadReadServer(RpcRdmaServerBase):
         if header.wire_size > self.config.inline_threshold:
             # RPC long reply, Read-Read style: expose the message itself.
             region = yield from self.strategy.acquire(len(message), AccessFlags.REMOTE_READ)
+            yield from self._crypt(len(message))
             region.fill(message)
             exposed.append(region)
             reply_chunks.read_chunks = [
@@ -218,7 +223,56 @@ class ReadReadServer(RpcRdmaServerBase):
             if san is not None:
                 san.advertise(self.node.hca.tpt.name, reply.xid,
                               reply_chunks)
+            if self.config.exposure_quota_bytes is not None:
+                yield from self._enforce_quota(reply.xid)
+            if self.config.lease_timeout_us is not None:
+                self.sim.process(self._lease_timer(reply.xid),
+                                 name=f"{self.name}.lease")
         yield from self.send_header(header)
+
+    # -- mitigation machinery ----------------------------------------------
+    def _enforce_quota(self, current_xid: int) -> Generator:
+        """Admission control: this connection's exposed bytes must fit
+        ``exposure_quota_bytes``.  While over, the *oldest* pending
+        exposure (never the one just admitted) is reclaimed — the
+        misbehaving client loses its own stalest window, well-behaved
+        clients are untouched because their DONEs keep them under quota.
+        """
+        quota = self.config.exposure_quota_bytes
+        while len(self.pending_done) > 1:
+            total = sum(r.length for rs in self.pending_done.values()
+                        for r in rs)
+            if total <= quota:
+                return
+            oldest = next(x for x in self.pending_done if x != current_xid)
+            regions = self.pending_done.pop(oldest)
+            nbytes = sum(r.length for r in regions)
+            self.quota_evictions.add(nbytes)
+            san = self.sim.sanitizer
+            if san is not None:
+                san.retire(self.node.hca.tpt.name, oldest)
+            if self.policy is not None:
+                self.policy.record_quota_eviction(self.client_id, nbytes)
+            for region in regions:
+                yield from self.strategy.release(region)
+
+    def _lease_timer(self, xid: int) -> Generator:
+        """Deadline-based reclamation: if the DONE has not arrived when
+        the lease expires, deregister the windows (a sanitizer-visible
+        epoch bump) and score the client."""
+        yield self.sim.timeout(self.config.lease_timeout_us)
+        regions = self.pending_done.pop(xid, None)
+        if regions is None:
+            return  # DONE (or quota/disconnect reclaim) beat the deadline
+        nbytes = sum(r.length for r in regions)
+        self.lease_reclaims.add(nbytes)
+        san = self.sim.sanitizer
+        if san is not None:
+            san.retire(self.node.hca.tpt.name, xid)
+        if self.policy is not None:
+            self.policy.record_lease_reclaim(self.client_id, nbytes)
+        for region in regions:
+            yield from self.strategy.release(region)
 
     def _handle_done(self, header: RpcRdmaHeader) -> Generator:
         yield from self.node.cpu.consume(self.config.done_handler_cpu_us)

@@ -101,6 +101,7 @@ class ReadWriteClient(RpcRdmaClientBase):
             if region is None or header.chunks.reply_chunk is None:
                 raise TransportError(f"{self.name}: long reply without reply chunk")
             actual = header.chunks.reply_chunk.capacity
+            yield from self._crypt(actual)
             message = region.peek(actual)
         elif header.mtype is MessageType.RDMA_MSG:
             message = header.rpc_message
@@ -116,6 +117,7 @@ class ReadWriteClient(RpcRdmaClientBase):
             region = ctx.get("read_region")
             if region is None:
                 raise TransportError(f"{self.name}: write chunk echo without window")
+            yield from self._crypt(actual)
             if not ctx.get("read_zero_copy", False):
                 # Buffered path: one copy from the transport buffer to
                 # the application (direct I/O skips this entirely).
@@ -130,9 +132,9 @@ class ReadWriteServer(RpcRdmaServerBase):
     design = "read-write"
 
     def __init__(self, node, qp, config, strategy, name="", credit_policy=None,
-                 srq=None):
+                 srq=None, policy=None):
         super().__init__(node, qp, config, strategy, name,
-                         credit_policy=credit_policy, srq=srq)
+                         credit_policy=credit_policy, srq=srq, policy=policy)
         self.rdma_writes_issued = Counter(f"{self.name}.writes")
         self.long_replies = Counter(f"{self.name}.long_replies")
 
@@ -159,6 +161,7 @@ class ReadWriteServer(RpcRdmaServerBase):
                     len(payload), AccessFlags.LOCAL_WRITE
                 )
                 ctx["regions"].append(region)
+                yield from self._crypt(len(payload))
                 region.fill(payload)
                 yield from self.push_chunks(region, list(target.segments), len(payload))
                 self.rdma_writes_issued.add()
@@ -196,6 +199,7 @@ class ReadWriteServer(RpcRdmaServerBase):
                 )
             region = yield from self.strategy.acquire(len(message), AccessFlags.LOCAL_WRITE)
             ctx["regions"].append(region)
+            yield from self._crypt(len(message))
             region.fill(message)
             yield from self.push_chunks(region, list(target.segments), len(message))
             self.long_replies.add()

@@ -25,6 +25,7 @@ from repro.core import (
     SrqCreditPolicy,
 )
 from repro.core.strategies import AllPhysicalStrategy, FmrStrategy, RegistrationStrategy
+from repro.errors import TransportError
 from repro.faults import FaultInjector, FaultPlan
 from repro.fs import BlockFs, DiskConfig, Raid0, TmpFs
 from repro.ib.fabric import Fabric, IBNode
@@ -106,6 +107,13 @@ class ClusterConfig:
     #: breaks same-timestamp ties in seeded-random order (None = the
     #: plain deterministic engine).
     perturb_seed: Optional[int] = None
+    #: hardened data plane (all default-off, and inert when off — see
+    #: :class:`repro.core.config.RpcRdmaConfig`): exposure leases,
+    #: per-client exposure quota, misbehavior quarantine, AES payloads.
+    lease_timeout_us: Optional[float] = None
+    exposure_quota_bytes: Optional[int] = None
+    quarantine: bool = False
+    aes_payload: bool = False
 
     def __post_init__(self):
         if self.transport not in TRANSPORTS:
@@ -127,6 +135,15 @@ class ClusterConfig:
             raise ValueError("server_workers must be >= 1 (or None)")
         if self.server_queue_depth is not None and self.server_queue_depth < 1:
             raise ValueError("server_queue_depth must be >= 1 (or None)")
+        if (self.lease_timeout_us is not None or
+                self.exposure_quota_bytes is not None or
+                self.quarantine or self.aes_payload) and not self.is_rdma:
+            raise ValueError("hardening knobs require an RDMA transport")
+        if self.lease_timeout_us is not None and self.lease_timeout_us <= 0:
+            raise ValueError("lease_timeout_us must be positive (or None)")
+        if (self.exposure_quota_bytes is not None
+                and self.exposure_quota_bytes < 1):
+            raise ValueError("exposure_quota_bytes must be >= 1 (or None)")
 
     @property
     def is_rdma(self) -> bool:
@@ -271,6 +288,38 @@ class Cluster:
                 self.srq, max_grant=per_client,
             )
 
+        # Hardened data plane (PR 6): fold the cluster-level mitigation
+        # knobs into the transport config and stand up the misbehavior
+        # policy.  With everything at defaults, nothing below runs and
+        # self.security_policy stays None — zero hooks on the hot path.
+        overrides = {}
+        if config.lease_timeout_us is not None:
+            overrides["lease_timeout_us"] = config.lease_timeout_us
+        if config.exposure_quota_bytes is not None:
+            overrides["exposure_quota_bytes"] = config.exposure_quota_bytes
+        if config.quarantine:
+            overrides.update(
+                misbehavior_warn=5,
+                misbehavior_throttle=10,
+                misbehavior_quarantine=20,
+            )
+        if config.aes_payload:
+            overrides["aes_payload"] = True
+        self.security_policy = None
+        if overrides:
+            self.rpcrdma = replace(self.rpcrdma, **overrides)
+        if config.quarantine or config.lease_timeout_us is not None or \
+                config.exposure_quota_bytes is not None:
+            from repro.security.policy import SecurityPolicy
+
+            self.security_policy = SecurityPolicy(
+                self.sim, self.rpcrdma,
+                quarantine_enabled=config.quarantine,
+            )
+            self.server_node.hca.protection_nak_hook = \
+                self.security_policy.record_nak
+            self.rpc_server.security_policy = self.security_policy
+
         self.server_transports: list = []
         self.mounts: list[Mount] = []
 
@@ -337,9 +386,12 @@ class Cluster:
         """Build + attach one RDMA server transport for ``qp_s``."""
         cls = ReadWriteServer if self.config.transport == "rdma-rw" else ReadReadServer
         server = cls(self.server_node, qp_s, self.rpcrdma, self.server_strategy,
-                     credit_policy=self.credit_policy, srq=self.srq)
+                     credit_policy=self.credit_policy, srq=self.srq,
+                     policy=self.security_policy)
         server.attach(self.rpc_server)
         self.server_transports.append(server)
+        if self.security_policy is not None:
+            self.security_policy.register_transport(server.client_id, server)
         return server
 
     def _redial(self, client):
@@ -351,6 +403,13 @@ class Cluster:
         operational defense), then hand back a fresh QP and the new
         server transport's ready event for the CM handshake.
         """
+        if (self.security_policy is not None
+                and self.security_policy.is_banned(client.node.name)):
+            # Quarantined mount: the redial is refused outright — the
+            # ban outlives the evicted connection.
+            self.security_policy.redials_refused.add()
+            raise TransportError(
+                f"{client.node.name}: redial refused (quarantined)")
         old_qp = client.qp
         old_server = next(
             (s for s in self.server_transports

@@ -42,7 +42,7 @@ PROFILES = {
 class Point:
     """One independent simulation: cluster kwargs + workload kwargs."""
 
-    kind: str                                   # "iozone" | "oltp" | "security"
+    kind: str                         # "iozone" | "oltp" | "security" | "attack"
     cluster: dict = field(default_factory=dict)  # ClusterConfig kwargs;
     #                                             "profile" is a PROFILES name
     params: dict = field(default_factory=dict)   # workload parameter kwargs
@@ -101,6 +101,12 @@ def run_point(point: Point, cluster=None) -> dict:
             "bytes_read": r.bytes_read,
             "bytes_written": r.bytes_written,
         }
+    elif point.kind == "attack":
+        from repro.security.campaign import CampaignParams, run_campaign
+
+        # run_campaign captures its metrics before draining the
+        # malicious connections, so the dict is already teardown-safe.
+        out = run_campaign(cluster, CampaignParams(**point.params)).as_dict()
     elif point.kind == "security":
         from repro.security import audit_server_exposure
         from repro.workloads import IozoneParams, run_iozone

@@ -103,6 +103,11 @@ class HCA:
             mean_contig_run_bytes=config.phys_mean_run_bytes, name=f"{name}.phys",
         )
         self.qps: list[QueuePair] = []
+        #: Called with ``(offender_qp, ProtectionError)`` when *this* HCA
+        #: NAKs a remote operation against its memory.  ``None`` (the
+        #: default) keeps the data path hook-free; the security policy
+        #: installs its misbehavior scorer here.
+        self.protection_nak_hook = None
         self.sends = Counter(f"{name}.sends")
         self.writes = Counter(f"{name}.writes")
         self.reads = Counter(f"{name}.reads")
@@ -296,6 +301,8 @@ class HCA:
             except ProtectionError as exc:
                 recv._complete(peer_qp, peer_qp.recv_cq, CqeStatus.LOC_PROT_ERR, error=str(exc))
                 wr._complete(qp, qp.send_cq, CqeStatus.REM_ACCESS_ERR, error=str(exc))
+                if peer_hca.protection_nak_hook is not None:
+                    peer_hca.protection_nak_hook(qp, exc)
                 self._fatal(qp, f"send overflowed receive buffer: {exc}")
                 self._fatal(peer_qp, "receive buffer overflow")
                 return
@@ -345,6 +352,8 @@ class HCA:
                     mr.write(wr.remote.addr, payload)
             except ProtectionError as exc:
                 wr._complete(qp, qp.send_cq, CqeStatus.REM_ACCESS_ERR, error=str(exc))
+                if peer_hca.protection_nak_hook is not None:
+                    peer_hca.protection_nak_hook(qp, exc)
                 self._fatal(qp, f"remote access error on write: {exc}")
                 self._fatal(qp.peer, f"NAK sent for bad write: {exc}")
                 return
@@ -405,6 +414,8 @@ class HCA:
                         payload = mr.read(wr.remote.addr, wr.remote.length)
                 except ProtectionError as exc:
                     wr._complete(qp, qp.send_cq, CqeStatus.REM_ACCESS_ERR, error=str(exc))
+                    if peer_hca.protection_nak_hook is not None:
+                        peer_hca.protection_nak_hook(qp, exc)
                     self._fatal(qp, f"remote access error on read: {exc}")
                     self._fatal(peer_qp, f"NAK sent for bad read: {exc}")
                     return

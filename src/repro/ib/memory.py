@@ -38,12 +38,19 @@ PAGE_SIZE = 4096
 
 
 class ProtectionError(ReproError):
-    """A remote (or local) access failed TPT validation."""
+    """A remote (or local) access failed TPT validation.
 
-    def __init__(self, reason: str, stag: int = 0):
+    ``cause`` classifies the refusal — ``"stag"`` (no live registration),
+    ``"access"`` (rights mismatch) or ``"bounds"`` (range overrun) — so
+    NAK consumers (misbehavior scoring, stats) can break faults down the
+    way ``nfsstat`` breaks down error replies.
+    """
+
+    def __init__(self, reason: str, stag: int = 0, cause: str = "stag"):
         super().__init__(reason)
         self.reason = reason
         self.stag = stag
+        self.cause = cause
 
 
 class AccessFlags(enum.IntFlag):
@@ -347,6 +354,8 @@ class TranslationProtectionTable:
         self.registrations = Counter(f"{name}.registrations")
         self.deregistrations = Counter(f"{name}.deregistrations")
         self.protection_faults = Counter(f"{name}.faults")
+        self.faults_by_cause: dict[str, int] = {
+            "stag": 0, "access": 0, "bounds": 0}
         self.stags_exposed_ever: set[int] = set()
 
     # -- stag management --------------------------------------------------
@@ -438,16 +447,22 @@ class TranslationProtectionTable:
         mr = self._entries.get(stag)
         if mr is None or not mr.valid:
             self.protection_faults.add()
-            raise ProtectionError(f"stag {stag:#010x} not in TPT", stag)
+            self.faults_by_cause["stag"] += 1
+            raise ProtectionError(f"stag {stag:#010x} not in TPT", stag,
+                                  cause="stag")
         if need & ~mr.access:
             self.protection_faults.add()
+            self.faults_by_cause["access"] += 1
             raise ProtectionError(
-                f"stag {stag:#010x} lacks {need!r} (has {mr.access!r})", stag
+                f"stag {stag:#010x} lacks {need!r} (has {mr.access!r})", stag,
+                cause="access",
             )
         if addr < mr.addr or addr + length > mr.addr + mr.length:
             self.protection_faults.add()
+            self.faults_by_cause["bounds"] += 1
             raise ProtectionError(
-                f"stag {stag:#010x} range {addr:#x}+{length} out of bounds", stag
+                f"stag {stag:#010x} range {addr:#x}+{length} out of bounds", stag,
+                cause="bounds",
             )
         return mr
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
-from repro.sim import Resource, Simulator, UtilizationMeter
+from repro.sim import Counter, Resource, Simulator, UtilizationMeter
 
 
 @dataclass(frozen=True)
@@ -21,14 +21,23 @@ class CPUConfig:
 
     ``memcpy_mb_s`` is the effective single-core copy bandwidth; 2007-era
     Opteron/Xeon boxes sustain roughly 1–2 GB/s for large copies.
+    ``crypt_mb_s`` is the single-core software AES throughput — pre-AES-NI
+    hardware manages on the order of 100–200 MB/s, which is what makes
+    the encrypted-payload mitigation a measurable CPU cost rather than
+    free.
     """
 
     cores: int = 2
     memcpy_mb_s: float = 1600.0
+    crypt_mb_s: float = 140.0
 
     def copy_cost_us(self, nbytes: int) -> float:
         """Service demand, in microseconds, to copy ``nbytes`` once."""
         return nbytes / self.memcpy_mb_s  # MB/s == bytes/us
+
+    def crypt_cost_us(self, nbytes: int) -> float:
+        """Service demand, in microseconds, to AES one pass over ``nbytes``."""
+        return nbytes / self.crypt_mb_s  # MB/s == bytes/us
 
 
 class CPU:
@@ -47,6 +56,7 @@ class CPU:
         self.cores = Resource(sim, capacity=config.cores, name=f"{name}.cores")
         self.meter = UtilizationMeter(sim, capacity=config.cores, name=name)
         self.busy_us_total = 0.0
+        self.crypt_bytes = Counter(f"{name}.crypt_bytes")
 
     def consume(self, service_us: float, priority: int = 0) -> Generator:
         """Process generator: occupy one core for ``service_us``."""
@@ -67,6 +77,11 @@ class CPU:
     def copy(self, nbytes: int, priority: int = 0) -> Generator:
         """Process generator: charge one memory copy of ``nbytes``."""
         yield from self.consume(self.config.copy_cost_us(nbytes), priority=priority)
+
+    def crypt(self, nbytes: int, priority: int = 0) -> Generator:
+        """Process generator: charge one AES pass over ``nbytes``."""
+        self.crypt_bytes.add(nbytes)
+        yield from self.consume(self.config.crypt_cost_us(nbytes), priority=priority)
 
     def stall(self, duration_us: float, priority: int = -1) -> Generator:
         """Process generator: seize *every* core for ``duration_us``.

@@ -55,6 +55,9 @@ class RpcServer:
                                      name=f"{name}.pool", max_queue=max_queue)
         self.calls_served = Counter(f"{name}.calls")
         self.calls_failed = Counter(f"{name}.failed")
+        #: security policy hook; failed dispatches count against the
+        #: originating client's misbehavior score when set.
+        self.security_policy = None
 
     def register_program(self, prog: int, vers: int, handler: RpcProgramHandler) -> None:
         key = (prog, vers)
@@ -131,6 +134,11 @@ class RpcServer:
     def backlog(self) -> int:
         return self.pool.backlog
 
+    def _record_bad_call(self, call: RpcCall) -> None:
+        if self.security_policy is not None:
+            self.security_policy.record_bad_call(
+                getattr(call, "client_id", None))
+
     def _handle(self, worker: int, task) -> Generator:
         call, respond, qspan = task
         if qspan is not None:
@@ -155,12 +163,14 @@ class RpcServer:
         handler = self._programs.get((call.prog, call.vers))
         if handler is None:
             self.calls_failed.add()
+            self._record_bad_call(call)
             reply = RpcReply(xid=call.xid, stat=1, header=b"")  # PROG_UNAVAIL-ish
         else:
             try:
                 reply = yield from handler(call)
             except RpcError:
                 self.calls_failed.add()
+                self._record_bad_call(call)
                 reply = RpcReply(xid=call.xid, stat=1, header=b"")
         if not isinstance(reply, RpcReply):
             raise TypeError(

@@ -118,11 +118,21 @@ def probe_primitive_properties() -> list[PrimitiveProperties]:
 
 
 def audit_server_exposure(server_node, server_transports) -> dict:
-    """Attack-surface snapshot of an NFS server (DESIGN.md invariant 3)."""
+    """Attack-surface snapshot of an NFS server (DESIGN.md invariant 3).
+
+    Receive-buffer accounting is pool-aware: transports that share one
+    :class:`~repro.ib.srq.SharedReceivePool` contribute its registered
+    bytes *once* (keyed by pool identity), while per-connection rings
+    are summed per transport.  Before the shared pool existed every
+    transport owned its ring, so the naive per-transport sum was exact;
+    after PR 4 it would overcount the shared pool ``n``-fold.
+    """
     tpt = server_node.hca.tpt
     exposed_now = tpt.remotely_exposed()
     pending = 0
     pending_bytes = 0
+    recv_bytes = 0
+    shared_pools: set[int] = set()
     for transport in server_transports:
         if hasattr(transport, "pending_done"):
             pending += len(transport.pending_done)
@@ -131,6 +141,15 @@ def audit_server_exposure(server_node, server_transports) -> dict:
                 for regions in transport.pending_done.values()
                 for r in regions
             )
+        srq = getattr(transport, "srq", None)
+        if srq is not None:
+            if id(srq) not in shared_pools:
+                shared_pools.add(id(srq))
+                recv_bytes += srq.registered_bytes
+            continue
+        pool = getattr(transport, "recv_pool", None)
+        if pool is not None:
+            recv_bytes += pool.count * pool.size
     return {
         "exposed_regions_now": len(exposed_now),
         "exposed_bytes_now": sum(mr.length for mr in exposed_now),
@@ -138,6 +157,8 @@ def audit_server_exposure(server_node, server_transports) -> dict:
         "protection_faults": tpt.protection_faults.events,
         "pending_done_ops": pending,
         "pending_done_bytes": pending_bytes,
+        "recv_registered_bytes": recv_bytes,
+        "recv_shared_pools": len(shared_pools),
     }
 
 

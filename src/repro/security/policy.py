@@ -1,0 +1,166 @@
+"""Server-side misbehavior scoring and the WARN → throttle → quarantine ladder.
+
+The hardened data plane funnels every per-client misbehavior signal —
+protection NAKs from the HCA (by cause), malformed RPC/RDMA headers,
+lease reclaims, quota evictions and bad RPC calls — into one
+:class:`SecurityPolicy` score.  Crossing the configured thresholds
+(:class:`repro.core.config.RpcRdmaConfig`) escalates:
+
+``WARN``
+    Recorded only; the client keeps full service.  Operators see it in
+    ``repro stats``.
+``throttle``
+    Every subsequent call from the client is delayed by
+    ``throttle_delay_us`` before dispatch, bounding the rate at which a
+    misbehaving mount can consume server resources.
+``quarantine``
+    The client's server transports are disconnected (which reclaims
+    everything it pinned, per ``_reclaim_on_disconnect``) and its node
+    name is banned: the cluster's redial path refuses new connections.
+
+The policy is pure bookkeeping plus, at quarantine time, spawned
+``disconnect()`` processes; it charges no CPU and draws no randomness,
+so a run where no client ever misbehaves is event-identical to a run
+without the policy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim import Counter, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import RpcRdmaConfig
+
+__all__ = ["SecurityPolicy", "client_of_qp"]
+
+#: ProtectionError causes we break NAKs down by (matches TPT accounting).
+NAK_CAUSES = ("stag", "access", "bounds")
+
+
+def client_of_qp(qp) -> str:
+    """The node name behind a QP (HCAs are named ``<node>.hca``)."""
+    name = qp.hca.name
+    return name.split(".")[0] if "." in name else name
+
+
+class SecurityPolicy:
+    """Per-client misbehavior ledger with escalating responses."""
+
+    def __init__(self, sim: Simulator, config: "RpcRdmaConfig",
+                 quarantine_enabled: bool = True, name: str = "secpolicy"):
+        self.sim = sim
+        self.config = config
+        self.quarantine_enabled = quarantine_enabled
+        self.name = name
+        self.scores: dict[str, int] = {}
+        self.naks_by_cause: dict[str, int] = {c: 0 for c in NAK_CAUSES}
+        self.naks_by_client: dict[str, int] = {}
+        self.warned: set[str] = set()
+        self.throttled: set[str] = set()
+        self.quarantined: set[str] = set()
+        self.banned: set[str] = set()
+        #: client -> that client's server-side transports (for eviction).
+        self._transports: dict[str, list] = {}
+        self.naks = Counter(f"{name}.naks")
+        self.malformed_wrs = Counter(f"{name}.malformed")
+        self.lease_reclaims = Counter(f"{name}.lease_reclaims")
+        self.quota_evictions = Counter(f"{name}.quota_evictions")
+        self.bad_calls = Counter(f"{name}.bad_calls")
+        self.warnings = Counter(f"{name}.warnings")
+        self.throttles = Counter(f"{name}.throttles")
+        self.quarantines = Counter(f"{name}.quarantines")
+        self.redials_refused = Counter(f"{name}.redials_refused")
+
+    # -- wiring ------------------------------------------------------------
+    def register_transport(self, client: str, transport) -> None:
+        """Associate a server transport with the client it serves."""
+        self._transports.setdefault(client, []).append(transport)
+
+    # -- signal intake ------------------------------------------------------
+    def record_nak(self, offender_qp, exc) -> None:
+        """HCA hook: this server NAKed a remote op from ``offender_qp``."""
+        client = client_of_qp(offender_qp)
+        cause = getattr(exc, "cause", "stag")
+        self.naks.add()
+        self.naks_by_cause[cause] = self.naks_by_cause.get(cause, 0) + 1
+        self.naks_by_client[client] = self.naks_by_client.get(client, 0) + 1
+        self._score(client)
+
+    def record_malformed(self, client: str) -> None:
+        """A receive that failed RPC/RDMA header decode (garbage WR)."""
+        self.malformed_wrs.add()
+        self._score(client)
+
+    def record_lease_reclaim(self, client: str, nbytes: int) -> None:
+        """An exposure lease expired before the client's RDMA_DONE."""
+        self.lease_reclaims.add(nbytes)
+        self._score(client)
+
+    def record_quota_eviction(self, client: str, nbytes: int) -> None:
+        """Admission control evicted the client's oldest exposure."""
+        self.quota_evictions.add(nbytes)
+        self._score(client)
+
+    def record_bad_call(self, client: Optional[str]) -> None:
+        """The RPC layer rejected a call (unknown program, decode error)."""
+        self.bad_calls.add()
+        if client is not None:
+            self._score(client)
+
+    # -- escalation ---------------------------------------------------------
+    def _score(self, client: str) -> None:
+        score = self.scores.get(client, 0) + 1
+        self.scores[client] = score
+        cfg = self.config
+        if (cfg.misbehavior_warn is not None and score >= cfg.misbehavior_warn
+                and client not in self.warned):
+            self.warned.add(client)
+            self.warnings.add()
+        if (cfg.misbehavior_throttle is not None
+                and score >= cfg.misbehavior_throttle
+                and client not in self.throttled):
+            self.throttled.add(client)
+            self.throttles.add()
+        if (cfg.misbehavior_quarantine is not None
+                and score >= cfg.misbehavior_quarantine
+                and client not in self.quarantined):
+            self.quarantine(client)
+
+    def quarantine(self, client: str) -> None:
+        """Evict the client's mounts and refuse its redials from now on."""
+        if client in self.quarantined:
+            return
+        self.quarantined.add(client)
+        self.banned.add(client)
+        self.quarantines.add()
+        if not self.quarantine_enabled:
+            return
+        for transport in self._transports.get(client, []):
+            if not transport.failed:
+                self.sim.process(transport.disconnect(),
+                                 name=f"{self.name}.evict")
+
+    # -- queries ------------------------------------------------------------
+    def is_banned(self, client: str) -> bool:
+        return client in self.banned
+
+    def throttle_penalty_us(self, client: str) -> float:
+        """Extra dispatch delay for this client's next call (0 if clean)."""
+        if client in self.throttled:
+            return self.config.throttle_delay_us
+        return 0.0
+
+    def exposure_bytes_by_client(self) -> dict[str, int]:
+        """Currently exposed (pending-DONE) bytes per client."""
+        out: dict[str, int] = {}
+        for client, transports in self._transports.items():
+            total = 0
+            for t in transports:
+                pending = getattr(t, "pending_done", None)
+                if pending:
+                    total += sum(r.length for rs in pending.values()
+                                 for r in rs)
+            out[client] = total
+        return out

@@ -192,6 +192,54 @@ class Telemetry:
                        lambda c=cache: float(c.resident_pages),
                        "pages currently cached")
 
+        policy = getattr(cluster, "security_policy", None)
+        if policy is not None:
+            reg.attach("security_naks", _events(policy.naks),
+                       "protection NAKs recorded by the policy")
+            from repro.security.policy import NAK_CAUSES
+            for cause in NAK_CAUSES:
+                reg.attach("security_naks_by_cause",
+                           lambda p=policy, c=cause: float(
+                               p.naks_by_cause.get(c, 0)),
+                           "protection NAKs broken down by TPT cause",
+                           cause=cause)
+            reg.attach("security_malformed_wrs", _events(policy.malformed_wrs),
+                       "receives that failed RPC/RDMA header decode")
+            reg.attach("security_bad_calls", _events(policy.bad_calls),
+                       "RPC calls rejected at dispatch")
+            reg.attach("security_lease_reclaims", _events(policy.lease_reclaims),
+                       "exposure leases reclaimed by deadline")
+            reg.attach("security_lease_reclaimed_bytes",
+                       _value(policy.lease_reclaims),
+                       "bytes un-exposed by lease reclamation")
+            reg.attach("security_quota_evictions",
+                       _events(policy.quota_evictions),
+                       "exposures evicted by per-client quota")
+            reg.attach("security_quota_evicted_bytes",
+                       _value(policy.quota_evictions),
+                       "bytes un-exposed by quota eviction")
+            reg.attach("security_warnings", _events(policy.warnings),
+                       "clients that crossed the WARN threshold")
+            reg.attach("security_throttles", _events(policy.throttles),
+                       "clients escalated to throttling")
+            reg.attach("security_quarantined_mounts",
+                       lambda p=policy: float(len(p.quarantined)),
+                       "clients evicted and banned")
+            reg.attach("security_redials_refused",
+                       _events(policy.redials_refused),
+                       "redial attempts refused for banned clients")
+            reg.attach("security_active_exposures",
+                       lambda c=cluster: float(sum(
+                           len(getattr(t, "pending_done", ()) or ())
+                           for t in c.server_transports)),
+                       "chunk exposures currently awaiting RDMA_DONE")
+            for client in sorted({m.node.name for m in cluster.mounts}):
+                reg.attach("security_exposure_bytes",
+                           lambda p=policy, c=client: float(
+                               p.exposure_bytes_by_client().get(c, 0)),
+                           "currently exposed (pending-DONE) bytes",
+                           client=client)
+
         if getattr(cluster, "faults", None) is not None:
             f = cluster.faults
             reg.attach("faults_messages_dropped", _events(f.messages_dropped),

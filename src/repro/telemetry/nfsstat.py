@@ -171,6 +171,27 @@ def _hca_section(registry) -> str:
     return "HCA traffic (per node):\n" + table
 
 
+def _security_section(registry) -> str:
+    if registry.get("security_naks") is None:
+        return ""
+    return _scalar_lines(registry, "Security (hardened data plane):", [
+        ("security_naks", "protection naks"),
+        ("security_naks_by_cause", "naks"),
+        ("security_malformed_wrs", "malformed wrs"),
+        ("security_bad_calls", "bad rpc calls"),
+        ("security_lease_reclaims", "lease reclaims"),
+        ("security_lease_reclaimed_bytes", "lease reclaimed bytes"),
+        ("security_quota_evictions", "quota evictions"),
+        ("security_quota_evicted_bytes", "quota evicted bytes"),
+        ("security_active_exposures", "active exposures (pending DONE)"),
+        ("security_exposure_bytes", "exposed bytes"),
+        ("security_warnings", "clients warned"),
+        ("security_throttles", "clients throttled"),
+        ("security_quarantined_mounts", "quarantined mounts"),
+        ("security_redials_refused", "redials refused"),
+    ])
+
+
 def _fault_section(registry) -> str:
     if registry.get("faults_messages_dropped") is None:
         return ""
@@ -198,6 +219,7 @@ def render_stats(cluster) -> str:
         _srq_section(registry),
         _registration_section(registry),
         _pagecache_section(registry),
+        _security_section(registry),
         _hca_section(registry),
         _fault_section(registry),
     ]
