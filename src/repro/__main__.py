@@ -79,7 +79,30 @@ def cmd_run(args) -> int:
 
 #: The figures benchmarked by ``python -m repro bench`` (satellite of
 #: DESIGN.md §8): each produces BENCH_<name>.json next to --output-dir.
-BENCH_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11")
+BENCH_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+
+#: BENCH_*.json schema.  v1 (unversioned): events_stepped.  v2: adds
+#: schema_version, events, core; tools/bench_gate.py reads both.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _bench_profile(name: str, scale: str, jobs: int, top: int = 25) -> object:
+    """Run one figure under cProfile and print the top-N hot spots."""
+    import cProfile
+    import pstats
+
+    holder: dict = {}
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        holder["result"] = run_experiment(name, scale, jobs=jobs)
+    finally:
+        prof.disable()
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    for sort in ("cumulative", "tottime"):
+        print(f"\n--- {name}: cProfile top {top} by {sort} ---")
+        stats.sort_stats(sort).print_stats(top)
+    return holder["result"]
 
 
 def cmd_bench(args) -> int:
@@ -88,17 +111,24 @@ def cmd_bench(args) -> int:
     import os
     import time
 
+    from repro.sim.engine import ACTIVE_CORE
+
     os.makedirs(args.output_dir, exist_ok=True)
     for name in BENCH_FIGURES:
         t0 = time.perf_counter()  # lint-sim: allow[wallclock] (host bench timing)
-        result = run_experiment(name, args.scale, jobs=args.jobs)
+        if args.profile:
+            result = _bench_profile(name, args.scale, args.jobs, top=args.profile_top)
+        else:
+            result = run_experiment(name, args.scale, jobs=args.jobs)
         wall = time.perf_counter() - t0  # lint-sim: allow[wallclock] (host bench timing)
         payload = {
+            "schema_version": BENCH_SCHEMA_VERSION,
             "experiment": name,
             "scale": args.scale,
             "jobs": args.jobs,
+            "core": ACTIVE_CORE,
             "wall_seconds": round(wall, 3),
-            "events_stepped": result.events,
+            "events": result.events,
             "events_per_sec": round(result.events / wall) if wall else 0,
             "points": len(result.rows),
         }
@@ -288,6 +318,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--output-dir", default=".")
+    p.add_argument("--profile", action="store_true",
+                   help="run each figure under cProfile and print the "
+                        "top-N hot spots (cumulative + tottime); wall "
+                        "numbers then include profiler overhead")
+    p.add_argument("--profile-top", type=int, default=25, metavar="N",
+                   help="rows per cProfile table (default 25)")
     p.set_defaults(fn=cmd_bench)
 
     def _add_point_args(p):

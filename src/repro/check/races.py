@@ -69,12 +69,13 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.errors import NondeterminismViolation
-from repro.sim.engine import Event, SimulationError, Simulator, _Wakeup
+from repro.sim._pyengine import SimulationError, _Wakeup
+from repro.sim.engine import Event, PurePythonSimulator
 
 __all__ = ["PerturbedSimulator", "nondeterminism_guard"]
 
 
-class PerturbedSimulator(Simulator):
+class PerturbedSimulator(PurePythonSimulator):
     """A :class:`Simulator` that shuffles same-callback sibling events.
 
     Heap entries are ``(time, region, tie_key, seq, event)``: ``region``
@@ -100,6 +101,13 @@ class PerturbedSimulator(Simulator):
         #: popped events whose heap successor shared (time, region) —
         #: the sibling groups whose order the seed actually perturbs.
         self.tie_events = 0
+        # The base engine keeps a bucketed calendar; the perturbation
+        # checker needs a totally ordered view of every pending entry so
+        # its tie keys can reorder siblings, so it runs its own
+        # ``(time, region, tie, seq, event)`` heap and overrides every
+        # queue-touching method below.
+        self._queue: list = []
+        self._seq = 0
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
@@ -145,6 +153,37 @@ class PerturbedSimulator(Simulator):
         if not event._ok and not event._defused:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until=None) -> None:
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        queue = self._queue
+        step = self.step
+        while queue:
+            if until is not None and queue[0][0] > until:
+                self.now = until
+                return
+            step()
+        if until is not None:
+            self.now = until
+
+    def run_until_complete(self, process, limit: float = float("inf")):
+        queue = self._queue
+        step = self.step
+        while not process._triggered:
+            if not queue:
+                raise SimulationError(f"deadlock: {process.name!r} never completed")
+            if queue[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded waiting for {process.name!r}")
+            step()
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._queue)
 
 
 #: time-module functions that read the host clock.

@@ -70,7 +70,7 @@ class QPState(enum.Enum):
     ERROR = "error"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """A (steering tag, address, length) triple.
 
@@ -87,7 +87,7 @@ class Segment:
             raise ValueError("negative segment length")
 
 
-@dataclass
+@dataclass(slots=True)
 class Cqe:
     """Completion queue entry."""
 
@@ -104,7 +104,22 @@ class Cqe:
 
 
 class _WorkRequest:
-    """Common machinery for all WR flavours."""
+    """Common machinery for all WR flavours.
+
+    ``__slots__``-based struct layout: WRs are the highest-volume
+    objects after events, so they carry no per-instance dict.  The tag
+    slots below (``adversarial``, ``pool_region``, ``pool_slot``,
+    ``srq_qp``, ``_san_local``, ``_san_remote``) are written by the
+    security, buffer-pool, SRQ and sanitizer layers respectively;
+    readers use ``getattr(wr, name, default)``, which works unchanged
+    on an unassigned slot.
+    """
+
+    __slots__ = (
+        "wr_id", "signaled", "completion", "cqe", "tspan", "on_complete",
+        "adversarial", "pool_region", "pool_slot", "srq_qp",
+        "_san_local", "_san_remote",
+    )
 
     opcode: Opcode = Opcode.SEND
 
@@ -136,6 +151,8 @@ class _WorkRequest:
 class SendWR(_WorkRequest):
     """Channel send: inline bytes or a gather list of local segments."""
 
+    __slots__ = ("inline", "segments", "fence")
+
     opcode = Opcode.SEND
 
     def __init__(
@@ -163,6 +180,8 @@ class SendWR(_WorkRequest):
 class RecvWR(_WorkRequest):
     """Pre-posted receive buffer (scatter list of local segments)."""
 
+    __slots__ = ("segments", "received")
+
     opcode = Opcode.RECV
 
     def __init__(self, sim: Simulator, segments: list[Segment], signaled: bool = True):
@@ -179,6 +198,8 @@ class RecvWR(_WorkRequest):
 
 class RdmaWriteWR(_WorkRequest):
     """Memory-semantics write into a remote segment (no remote CQE)."""
+
+    __slots__ = ("local", "remote", "fence")
 
     opcode = Opcode.RDMA_WRITE
 
@@ -204,6 +225,8 @@ class RdmaWriteWR(_WorkRequest):
 
 class RdmaReadWR(_WorkRequest):
     """Memory-semantics read from a remote segment into local scatter."""
+
+    __slots__ = ("local", "remote")
 
     opcode = Opcode.RDMA_READ
 

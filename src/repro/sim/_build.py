@@ -1,0 +1,117 @@
+"""Build-on-import helper for the compiled simulation core.
+
+The extension (:mod:`repro.sim._cengine`) is a single C file compiled
+with the host toolchain when first needed — no binaries are committed,
+no build system is required beyond ``cc`` and the CPython headers that
+ship with the interpreter.  When the toolchain is missing or the build
+fails, :func:`load_cengine` returns ``None`` and
+:mod:`repro.sim.engine` silently falls back to the pure-python core
+(unless ``REPRO_SIM_CORE=c`` demanded the compiled one).
+
+The shared object is cached next to the source (or, when the source
+tree is read-only, under ``~/.cache/repro``) and rebuilt whenever the
+C file is newer than the cached build.
+"""
+
+from __future__ import annotations
+
+import importlib.machinery
+import importlib.util
+import os
+import shutil
+import subprocess
+import sysconfig
+import tempfile
+from pathlib import Path
+from types import ModuleType
+from typing import Optional
+
+_SOURCE = Path(__file__).with_name("_cengine.c")
+_EXT_SUFFIX = importlib.machinery.EXTENSION_SUFFIXES[0]
+
+
+def _cache_path() -> Path:
+    """Fallback build location for read-only checkouts."""
+    root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    tag = sysconfig.get_config_var("SOABI") or "abi"
+    return Path(root) / "repro" / f"_cengine.{tag}{_EXT_SUFFIX}"
+
+
+def _candidates() -> list[Path]:
+    return [_SOURCE.with_name(f"_cengine{_EXT_SUFFIX}"), _cache_path()]
+
+
+def _is_fresh(so: Path) -> bool:
+    try:
+        return so.stat().st_mtime >= _SOURCE.stat().st_mtime
+    except OSError:
+        return False
+
+
+def _compile(so: Path) -> bool:
+    """Compile the extension to `so`; True on success."""
+    cc = (os.environ.get("CC")
+          or sysconfig.get_config_var("CC")
+          or "cc").split()[0]
+    if shutil.which(cc) is None:
+        cc = next((c for c in ("cc", "gcc", "clang") if shutil.which(c)), "")
+        if not cc:
+            return False
+    include = sysconfig.get_paths()["include"]
+    try:
+        so.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=_EXT_SUFFIX, dir=so.parent)
+        os.close(fd)
+        cmd = [cc, "-O2", "-fPIC", "-shared", "-fno-strict-aliasing",
+               f"-I{include}", str(_SOURCE), "-o", tmp]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+        if proc.returncode != 0:
+            os.unlink(tmp)
+            if os.environ.get("REPRO_SIM_CORE", "").strip().lower() == "c":
+                raise ImportError(
+                    f"compiled sim core build failed:\n{proc.stderr[-2000:]}")
+            return False
+        os.replace(tmp, so)   # atomic: concurrent builders race safely
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+
+
+def _load_from(so: Path) -> Optional[ModuleType]:
+    spec = importlib.util.spec_from_file_location("repro.sim._cengine", so)
+    if spec is None or spec.loader is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except ImportError:
+        return None
+    return module
+
+
+def load_cengine(require: bool = False) -> Optional[ModuleType]:
+    """Return the compiled core module, building it if necessary.
+
+    ``require=True`` (``REPRO_SIM_CORE=c``) turns every failure into an
+    ImportError instead of a silent ``None``.
+    """
+    if not _SOURCE.exists():
+        if require:
+            raise ImportError(f"compiled sim core source missing: {_SOURCE}")
+        return None
+    for so in _candidates():
+        if _is_fresh(so):
+            module = _load_from(so)
+            if module is not None:
+                return module
+    for so in _candidates():
+        if _compile(so):
+            module = _load_from(so)
+            if module is not None:
+                return module
+    if require:
+        raise ImportError(
+            "REPRO_SIM_CORE=c but the compiled sim core could not be "
+            "built or loaded (is a C toolchain installed?)")
+    return None

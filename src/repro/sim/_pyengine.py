@@ -1,0 +1,453 @@
+"""Pure-python event loop, events and processes for the simulation kernel.
+
+This module is the reference core: always importable, no compiled code.
+:mod:`repro.sim.engine` selects between this and the optional C core
+(:mod:`repro.sim._cengine`) at import time; both must produce
+**bit-identical** schedules (the golden tables and ``repro check``
+schedule-invariance runs pin that equivalence).
+
+Scheduling uses a *bucketed calendar queue* instead of one global
+``(time, seq, event)`` heap.  The workload's timestamp distribution is
+near-monotonic with dense same-instant bursts (a CQE fan-out, a credit
+grant, a teardown drain all schedule many events for *now*), so the
+queue keys a dict of per-instant buckets — one list per occupied
+timestamp, FIFO within the bucket — and keeps only the *distinct*
+timestamps in a small float heap.  A burst of K same-instant events
+costs one heap push + one heap pop total, not K of each, and no
+``(time, seq)`` tuples are allocated at all: within a bucket, list
+order *is* scheduling order, which is exactly the engine's documented
+FIFO tiebreak.  ``run``/``run_until_complete`` drain the open bucket in
+a batched inner loop, touching the heap only when the instant changes.
+
+Determinism is unchanged from the heap engine: events fire in
+``(time, scheduling order)`` — two events scheduled for the same
+instant always fire in scheduling order, so repeated runs with the same
+seed are bit-identical.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+_NO_BUCKET = float("nan")  # compares unequal to every timestamp
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation API (not for modeled failures)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a timeout watchdog or a connection teardown).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event is *triggered* when given a value (or failure) and a position
+    in the schedule; it is *processed* once its callbacks have run.
+    Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event value inspected before trigger")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value inspected before trigger")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully ``delay`` microseconds from now."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled out-of-band (no crash at top level)."""
+        self._defused = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.3f}>"
+
+
+class _Wakeup:
+    """Minimal pre-triggered carrier for process boot and interrupt.
+
+    Duck-types the slice of the :class:`Event` surface the scheduler
+    touches (``callbacks``/``_ok``/``_value``/``_defused``/``_processed``)
+    without the full Event construction cost — these are allocated once
+    per process, on the engine's hottest path.
+    """
+
+    __slots__ = ("callbacks", "_value", "_ok", "_defused", "_processed")
+
+    def __init__(self, callback, value: Any = None, ok: bool = True):
+        self.callbacks = [callback]
+        self._value = value
+        self._ok = ok
+        self._defused = not ok
+        self._processed = False
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        # Inlined Event.__init__ + trigger: a timeout is born fired, so
+        # skip the un-triggered intermediate state entirely.
+        self.sim = sim
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event that fires on return.
+
+    The generator may yield any :class:`Event`.  When that event fires the
+    generator is resumed with the event's value (or the failure exception
+    is thrown into it).  The process event itself succeeds with the
+    generator's return value, or fails with its uncaught exception.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once at the current instant (same schedule slot
+        # a full boot Event would consume, minus its allocation).
+        boot = _Wakeup(self._resume)
+        sim._schedule(boot, 0.0)
+        self._waiting_on = boot
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is None:
+            raise SimulationError("cannot interrupt a process that is currently running")
+        # Detach from whatever it was waiting on.
+        target = self._waiting_on
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        carrier = _Wakeup(self._resume, Interrupt(cause), ok=False)
+        self.sim._schedule(carrier, 0.0)
+        self._waiting_on = carrier
+
+    # -- internal -------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self.sim.active_process = self
+        self._waiting_on = None
+        while True:
+            try:
+                if trigger._ok:
+                    target = self._generator.send(trigger._value)
+                else:
+                    trigger._defused = True
+                    target = self._generator.throw(trigger._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+            if not isinstance(target, _EVENT_TYPES):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded {type(target).__name__}, expected Event"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as err:
+                    self.fail(err)
+                return
+            if target.sim is not self.sim:
+                self.fail(SimulationError("yielded event belongs to a different Simulator"))
+                return
+            if target._processed:
+                # Already fired: resume immediately with its outcome.
+                trigger = target
+                continue
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+            return
+
+
+#: Classes accepted as yield targets.  :mod:`repro.sim.engine` widens
+#: this to include the C core's Event when that core is loaded, so a
+#: pure-python simulator (e.g. the perturbation checker) keeps working
+#: even when model code constructs events from the compiled classes.
+_EVENT_TYPES: tuple = (Event,)
+
+
+class Simulator:
+    """The event loop.  ``now`` is simulated time in microseconds.
+
+    The schedule is a bucketed calendar (see the module docstring):
+
+    ``_buckets``
+        dict mapping each occupied *future* timestamp to its FIFO list.
+    ``_times``
+        heap of the distinct timestamps present in ``_buckets``.
+    ``_open`` / ``_oi`` / ``_open_when``
+        the bucket currently being drained, the index of the next
+        unfired event in it, and its timestamp.  Events scheduled for
+        exactly the open instant append here so same-instant FIFO order
+        spans events scheduled both before and during the instant.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._buckets: dict[float, list] = {}
+        self._times: list[float] = []
+        self._open: list = []
+        self._oi: int = 0
+        self._open_when: float = _NO_BUCKET
+        #: total events processed — the simulator's own work metric,
+        #: reported by ``python -m repro bench`` as events/sec.
+        self.steps = 0
+        #: observability root (repro.telemetry.Telemetry) or None.  This
+        #: is the single disable flag: every instrumented site does one
+        #: attribute load + ``is None`` test when telemetry is off.
+        self.telemetry = None
+        #: the Process currently being resumed; the span tracer keys its
+        #: task-span map on this to nest same-process spans.
+        self.active_process = None
+        #: runtime invariant checker (repro.check.Sanitizer) or None.
+        #: Same overhead contract as ``telemetry``: one attribute load
+        #: plus ``is None`` per instrumented site when off; when on it
+        #: only reads sim state, so results stay bit-identical.
+        self.sanitizer = None
+
+    # -- construction helpers -------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]):
+        from repro.sim.engine import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]):
+        from repro.sim.engine import AnyOf
+
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        when = self.now + delay
+        if when == self._open_when:
+            # Same-instant burst: extend the bucket being drained.
+            self._open.append(event)
+            return
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [event]
+            heappush(self._times, when)
+        else:
+            bucket.append(event)
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event in the schedule."""
+        oi = self._oi
+        open_ = self._open
+        if oi >= len(open_):
+            when = heappop(self._times)  # IndexError when queue empty
+            open_ = self._buckets.pop(when)
+            self._open = open_
+            self._open_when = when
+            self.now = when
+            oi = 0
+        event = open_[oi]
+        open_[oi] = None  # release the reference as soon as it fires
+        self._oi = oi + 1
+        self.steps += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        The hot loop drains the open bucket in place: the time-limit
+        test happens once per *instant* (bucket), not once per event.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        times = self._times
+        buckets = self._buckets
+        while True:
+            open_ = self._open
+            oi = self._oi
+            if oi >= len(open_):
+                if not times:
+                    break
+                when = times[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                heappop(times)
+                open_ = buckets.pop(when)
+                self._open = open_
+                self._open_when = when
+                self.now = when
+                oi = 0
+            # Batched same-instant drain: callbacks may append to the
+            # open bucket, so the bound is re-read every iteration.
+            while oi < len(open_):
+                event = open_[oi]
+                open_[oi] = None
+                oi += 1
+                self._oi = oi
+                self.steps += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+            if self._open is not open_ or self._oi != oi:
+                continue  # a callback re-entered run(); resync from instance state
+        if until is not None:
+            self.now = until
+
+    def run_until_complete(self, process: Process, limit: float = float("inf")) -> Any:
+        """Run until ``process`` finishes; return its value or raise its error."""
+        times = self._times
+        buckets = self._buckets
+        while not process._triggered:
+            open_ = self._open
+            oi = self._oi
+            if oi >= len(open_):
+                if not times:
+                    raise SimulationError(f"deadlock: {process.name!r} never completed")
+                when = times[0]
+                if when > limit:
+                    raise SimulationError(
+                        f"time limit {limit} exceeded waiting for {process.name!r}")
+                heappop(times)
+                open_ = buckets.pop(when)
+                self._open = open_
+                self._open_when = when
+                self.now = when
+                oi = 0
+            event = open_[oi]
+            open_[oi] = None
+            self._oi = oi + 1
+            self.steps += 1
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                exc = event._value
+                raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    @property
+    def queue_size(self) -> int:
+        pending = len(self._open) - self._oi
+        for bucket in self._buckets.values():
+            pending += len(bucket)
+        return pending

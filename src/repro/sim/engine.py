@@ -1,248 +1,110 @@
-"""Event loop, events and processes for the simulation kernel.
+"""Simulation-kernel core selector: compiled engine with pure-python fallback.
 
-The engine is deliberately small: a binary heap of ``(time, seq, event)``
-entries, an :class:`Event` primitive that fires exactly once, and a
-:class:`Process` wrapper that drives a generator by subscribing it to
-whatever event it yields.  Determinism is guaranteed by the monotone
-``seq`` tiebreaker: two events scheduled for the same instant always fire
-in scheduling order, so repeated runs with the same seed are bit-identical.
+Two interchangeable cores implement the event loop:
+
+* :mod:`repro.sim._pyengine` — the pure-python reference (always works);
+* :mod:`repro.sim._cengine` — an optional CPython extension compiling
+  the same hot core (Event/Timeout/Process/Simulator plus the bucketed
+  calendar queue) to C.  Built on demand by :mod:`repro.sim._build`
+  when a C toolchain is available.
+
+Selection happens once, at import, via ``REPRO_SIM_CORE``:
+
+``auto`` (default)
+    use the compiled core when it imports (building it first if
+    possible), otherwise fall back to pure python silently;
+``python``
+    force the pure-python core (golden-equivalence tests use this);
+``c``
+    require the compiled core; raise ImportError if it cannot be
+    built/loaded (CI uses this to catch silently-broken builds).
+
+The contract between the cores is *bit-identical schedules*: events
+fire in ``(time, scheduling order)`` under both, so every figure table
+is byte-for-byte the same whichever core ran it.  ``repro check``
+(sanitized + schedule-perturbed grids) and the golden tests enforce
+this; ``tests/test_compiled_core.py`` compares the cores directly.
+
+Condition events (:class:`AllOf` / :class:`AnyOf`) are defined *here*,
+against whichever ``Event`` was selected, so compiled and fallback runs
+agree on their behaviour without duplicating the logic in C.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+import os
+from typing import Iterable
+
+from repro.sim import _pyengine
+from repro.sim._pyengine import (  # noqa: F401  (re-exported surface)
+    Event as PyEvent,
+    Interrupt,
+    Process as PyProcess,
+    SimulationError,
+    Simulator as PurePythonSimulator,
+    Timeout as PyTimeout,
+    _Wakeup,
+)
 
 __all__ = [
+    "ACTIVE_CORE",
     "AllOf",
     "AnyOf",
     "Event",
     "Interrupt",
     "Process",
+    "PurePythonSimulator",
     "SimulationError",
     "Simulator",
     "Timeout",
 ]
 
+#: which core is live: ``"c"`` or ``"python"``.
+ACTIVE_CORE = "python"
 
-class SimulationError(RuntimeError):
-    """Raised for misuse of the simulation API (not for modeled failures)."""
+Event = _pyengine.Event
+Timeout = _pyengine.Timeout
+Process = _pyengine.Process
+Simulator = _pyengine.Simulator
 
+_requested = os.environ.get("REPRO_SIM_CORE", "auto").strip().lower()
+if _requested not in ("auto", "python", "c"):
+    raise ImportError(
+        f"REPRO_SIM_CORE={_requested!r} not understood (auto|python|c)")
 
-class Interrupt(Exception):
-    """Thrown into a process by :meth:`Process.interrupt`.
+if _requested in ("auto", "c"):
+    try:
+        from repro.sim import _build
 
-    ``cause`` carries an arbitrary payload describing why the process was
-    interrupted (e.g. a timeout watchdog or a connection teardown).
-    """
-
-    def __init__(self, cause: Any = None):
-        super().__init__(cause)
-        self.cause = cause
-
-
-class Event:
-    """A one-shot occurrence in simulated time.
-
-    An event is *triggered* when given a value (or failure) and a position
-    in the schedule; it is *processed* once its callbacks have run.
-    Processes wait on events by yielding them.
-    """
-
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
-
-    def __init__(self, sim: "Simulator"):
-        self.sim = sim
-        self.callbacks: Optional[list[Callable[[Event], None]]] = []
-        self._value: Any = None
-        self._ok: bool = True
-        self._triggered = False
-        self._processed = False
-        self._defused = False
-
-    # -- state ----------------------------------------------------------
-    @property
-    def triggered(self) -> bool:
-        return self._triggered
-
-    @property
-    def processed(self) -> bool:
-        return self._processed
-
-    @property
-    def ok(self) -> bool:
-        if not self._triggered:
-            raise SimulationError("event value inspected before trigger")
-        return self._ok
-
-    @property
-    def value(self) -> Any:
-        if not self._triggered:
-            raise SimulationError("event value inspected before trigger")
-        return self._value
-
-    # -- triggering -----------------------------------------------------
-    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
-        """Trigger the event successfully ``delay`` microseconds from now."""
-        if self._triggered:
-            raise SimulationError("event already triggered")
-        self._triggered = True
-        self._ok = True
-        self._value = value
-        self.sim._schedule(self, delay)
-        return self
-
-    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
-        """Trigger the event as failed; waiters see ``exception`` raised."""
-        if self._triggered:
-            raise SimulationError("event already triggered")
-        if not isinstance(exception, BaseException):
-            raise SimulationError("Event.fail() requires an exception instance")
-        self._triggered = True
-        self._ok = False
-        self._value = exception
-        self.sim._schedule(self, delay)
-        return self
-
-    def defused(self) -> "Event":
-        """Mark a failed event as handled out-of-band (no crash at top level)."""
-        self._defused = True
-        return self
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
-        return f"<{type(self).__name__} {state} at t={self.sim.now:.3f}>"
-
-
-class _Wakeup:
-    """Minimal pre-triggered carrier for process boot and interrupt.
-
-    Duck-types the slice of the :class:`Event` surface the scheduler
-    touches (``callbacks``/``_ok``/``_value``/``_defused``/``_processed``)
-    without the full Event construction cost — these are allocated once
-    per process, on the engine's hottest path.
-    """
-
-    __slots__ = ("callbacks", "_value", "_ok", "_defused", "_processed")
-
-    def __init__(self, callback, value: Any = None, ok: bool = True):
-        self.callbacks = [callback]
-        self._value = value
-        self._ok = ok
-        self._defused = not ok
-        self._processed = False
-
-
-class Timeout(Event):
-    """An event that fires ``delay`` microseconds after creation."""
-
-    __slots__ = ("delay",)
-
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay {delay!r}")
-        # Inlined Event.__init__ + trigger: a timeout is born fired, so
-        # skip the un-triggered intermediate state entirely.
-        self.sim = sim
-        self.callbacks = []
-        self._value = value
-        self._ok = True
-        self._triggered = True
-        self._processed = False
-        self._defused = False
-        self.delay = delay
-        sim._schedule(self, delay)
-
-
-class Process(Event):
-    """Drives a generator; the process *is* an event that fires on return.
-
-    The generator may yield any :class:`Event`.  When that event fires the
-    generator is resumed with the event's value (or the failure exception
-    is thrown into it).  The process event itself succeeds with the
-    generator's return value, or fails with its uncaught exception.
-    """
-
-    __slots__ = ("_generator", "_waiting_on", "name")
-
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
-            raise SimulationError(f"Process requires a generator, got {type(generator).__name__}")
-        super().__init__(sim)
-        self._generator = generator
-        self._waiting_on: Optional[Event] = None
-        self.name = name or getattr(generator, "__name__", "process")
-        # Bootstrap: resume once at the current instant (same heap slot
-        # and seq a full boot Event would consume, minus its allocation).
-        boot = _Wakeup(self._resume)
-        sim._schedule(boot, 0.0)
-        self._waiting_on = boot
-
-    @property
-    def is_alive(self) -> bool:
-        return not self._triggered
-
-    def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current instant."""
-        if self._triggered:
-            raise SimulationError("cannot interrupt a finished process")
-        if self._waiting_on is None:
-            raise SimulationError("cannot interrupt a process that is currently running")
-        # Detach from whatever it was waiting on.
-        target = self._waiting_on
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
-        self._waiting_on = None
-        carrier = _Wakeup(self._resume, Interrupt(cause), ok=False)
-        self.sim._schedule(carrier, 0.0)
-        self._waiting_on = carrier
-
-    # -- internal -------------------------------------------------------
-    def _resume(self, trigger: Event) -> None:
-        self.sim.active_process = self
-        self._waiting_on = None
-        while True:
-            try:
-                if trigger._ok:
-                    target = self._generator.send(trigger._value)
-                else:
-                    trigger._defused = True
-                    target = self._generator.throw(trigger._value)
-            except StopIteration as stop:
-                self.succeed(stop.value)
-                return
-            except BaseException as exc:
-                self.fail(exc)
-                return
-            if not isinstance(target, Event):
-                exc = SimulationError(
-                    f"process {self.name!r} yielded {type(target).__name__}, expected Event"
-                )
-                try:
-                    self._generator.throw(exc)
-                except StopIteration as stop:
-                    self.succeed(stop.value)
-                except BaseException as err:
-                    self.fail(err)
-                return
-            if target.sim is not self.sim:
-                self.fail(SimulationError("yielded event belongs to a different Simulator"))
-                return
-            if target._processed:
-                # Already fired: resume immediately with its outcome.
-                trigger = target
-                continue
-            target.callbacks.append(self._resume)
-            self._waiting_on = target
-            return
+        _cengine = _build.load_cengine(require=_requested == "c")
+    except ImportError:
+        if _requested == "c":
+            raise
+        _cengine = None
+    if _cengine is not None:
+        Event = _cengine.Event
+        Timeout = _cengine.Timeout
+        Process = _cengine.Process
+        Simulator = _cengine.Simulator
+        ACTIVE_CORE = "c"
+        # The pure-python engine (still used by PerturbedSimulator) must
+        # accept compiled events as yield targets: model code constructs
+        # Event/AllOf/AnyOf from the selected classes regardless of
+        # which simulator instance they are bound to.
+        _pyengine._EVENT_TYPES = (_pyengine.Event, _cengine.Event)
 
 
 class _ConditionBase(Event):
-    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`.
+
+    Subclasses the *selected* Event so compiled-core processes accept
+    conditions as yield targets; the logic itself is core-agnostic (it
+    only touches the shared Event surface).
+    """
 
     __slots__ = ("_events", "_pending")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim, events: Iterable[Event]):
         super().__init__(sim)
         self._events = list(events)
         for ev in self._events:
@@ -305,104 +167,6 @@ class AnyOf(_ConditionBase):
         self._finish()
 
 
-class Simulator:
-    """The event loop.  ``now`` is simulated time in microseconds."""
-
-    def __init__(self):
-        self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
-        self._seq = 0
-        #: total events processed — the simulator's own work metric,
-        #: reported by ``python -m repro bench`` as events/sec.
-        self.steps = 0
-        #: observability root (repro.telemetry.Telemetry) or None.  This
-        #: is the single disable flag: every instrumented site does one
-        #: attribute load + ``is None`` test when telemetry is off.
-        self.telemetry = None
-        #: the Process currently being resumed; the span tracer keys its
-        #: task-span map on this to nest same-process spans.
-        self.active_process = None
-        #: runtime invariant checker (repro.check.Sanitizer) or None.
-        #: Same overhead contract as ``telemetry``: one attribute load
-        #: plus ``is None`` per instrumented site when off; when on it
-        #: only reads sim state, so results stay bit-identical.
-        self.sanitizer = None
-
-    # -- construction helpers -------------------------------------------
-    def event(self) -> Event:
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
-
-    def process(self, generator: Generator, name: str = "") -> Process:
-        return Process(self, generator, name=name)
-
-    def all_of(self, events: Iterable[Event]) -> AllOf:
-        return AllOf(self, events)
-
-    def any_of(self, events: Iterable[Event]) -> AnyOf:
-        return AnyOf(self, events)
-
-    # -- scheduling ------------------------------------------------------
-    def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
-        self._seq += 1
-
-    # -- execution --------------------------------------------------------
-    def step(self, _heappop=heapq.heappop) -> None:
-        """Process the single next event in the schedule."""
-        when, _, event = _heappop(self._queue)
-        self.now = when
-        self.steps += 1
-        callbacks = event.callbacks
-        event.callbacks = None
-        event._processed = True
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused:
-            exc = event._value
-            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
-
-    def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or simulated time reaches ``until``."""
-        if until is not None and until < self.now:
-            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
-        queue = self._queue
-        step = self.step
-        while queue:
-            if until is not None and queue[0][0] > until:
-                self.now = until
-                return
-            step()
-        if until is not None:
-            self.now = until
-
-    def run_until_complete(self, process: Process, limit: float = float("inf")) -> Any:
-        """Run until ``process`` finishes; return its value or raise its error."""
-        queue = self._queue
-        step = self.step
-        if limit == float("inf"):
-            # Hot path: no time-limit comparison per event.
-            while not process._triggered:
-                if not queue:
-                    raise SimulationError(f"deadlock: {process.name!r} never completed")
-                step()
-        else:
-            while not process._triggered:
-                if not queue:
-                    raise SimulationError(f"deadlock: {process.name!r} never completed")
-                if queue[0][0] > limit:
-                    raise SimulationError(
-                        f"time limit {limit} exceeded waiting for {process.name!r}")
-                step()
-        if not process.ok:
-            raise process.value
-        return process.value
-
-    @property
-    def queue_size(self) -> int:
-        return len(self._queue)
+if ACTIVE_CORE == "c":
+    # The compiled Simulator's all_of/any_of delegate to these classes.
+    _cengine.set_conditions(AllOf, AnyOf)

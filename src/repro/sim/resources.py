@@ -19,9 +19,16 @@ import heapq
 from collections import deque
 from typing import Any
 
+from repro.sim import engine as _engine
 from repro.sim.engine import Event, SimulationError, Simulator
 
 __all__ = ["Container", "Request", "Resource", "Store"]
+
+# The classes below are the pure-python reference.  When the compiled
+# core is live, the module tail swaps in the _cengine implementations
+# (same semantics, same grant order — see the equivalence notes in
+# _cengine.c); these definitions remain the fallback and the oracle the
+# compiled ones are tested against.
 
 
 class Request(Event):
@@ -55,6 +62,8 @@ class Resource:
         finally:
             cpu.release(req)
     """
+
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiting", "_seq")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -114,6 +123,8 @@ class Resource:
 class Store:
     """FIFO of items with blocking ``get`` and optionally bounded ``put``."""
 
+    __slots__ = ("sim", "capacity", "name", "_items", "_getters", "_putters")
+
     def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
         self.sim = sim
         self.capacity = capacity
@@ -172,6 +183,8 @@ class Store:
 class Container:
     """A continuous quantity with blocking get/put (credits, capacities)."""
 
+    __slots__ = ("sim", "capacity", "name", "_level", "_getters", "_putters")
+
     def __init__(
         self,
         sim: Simulator,
@@ -228,3 +241,16 @@ class Container:
                     self._level -= amount
                     ev.succeed(None)
                     progressed = True
+
+
+PurePythonRequest = Request
+PurePythonResource = Resource
+PurePythonStore = Store
+
+if _engine.ACTIVE_CORE == "c":
+    # Compiled hot path: Resource.request/release and Store.put/get are
+    # among the most-called model entry points, so the C core provides
+    # them too.  Container stays pure python (cold: credit pools).
+    Request = _engine._cengine.Request
+    Resource = _engine._cengine.Resource
+    Store = _engine._cengine.Store

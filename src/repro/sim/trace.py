@@ -11,13 +11,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.sim import engine as _engine
 from repro.sim.engine import SimulationError, Simulator
 
 __all__ = ["Counter", "Tracer", "UtilizationMeter"]
 
+# Counter and UtilizationMeter below are the pure-python reference; the
+# module tail swaps in the compiled versions when the C core is live
+# (meters settle on every resource acquire/release, making them one of
+# the hottest non-kernel paths in the fig6-9 CPU-utilization figures).
+
 
 class Counter:
     """A monotonically growing tally with byte/op helpers."""
+
+    __slots__ = ("name", "value", "events")
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -37,6 +45,8 @@ class Counter:
 
 class UtilizationMeter:
     """Time-weighted integral of a busy-unit level (e.g. busy CPU cores)."""
+
+    __slots__ = ("sim", "capacity", "name", "_level", "_last_change", "_area", "_t0")
 
     def __init__(self, sim: Simulator, capacity: float, name: str = ""):
         if capacity <= 0:
@@ -124,3 +134,11 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
         self.counts.clear()
+
+
+PurePythonCounter = Counter
+PurePythonUtilizationMeter = UtilizationMeter
+
+if _engine.ACTIVE_CORE == "c":
+    Counter = _engine._cengine.Counter
+    UtilizationMeter = _engine._cengine.UtilizationMeter
