@@ -8,7 +8,8 @@
     python -m repro check [--figure fig5] [--perturb-seed S ...] [--jobs N]
     python -m repro report [--scale quick|full] [--jobs N] [--output EXPERIMENTS.md]
     python -m repro bench [--scale quick|full] [--jobs N] [--output-dir .]
-    python -m repro stats --figure fig5 --quick [--point N]
+    python -m repro health --experiment fig5 [--slo slo/quick.toml] [--sink stdout|json|otel]
+    python -m repro stats --figure fig5 --quick [--point N] [--json]
     python -m repro trace --figure fig5 --quick --out trace.json
     python -m repro iozone --transport rdma-rw --strategy cache --threads 8
     python -m repro oltp --strategy cache --readers 50
@@ -237,12 +238,44 @@ def _telemetry_point(args):
 
 
 def cmd_stats(args) -> int:
-    from repro.telemetry.nfsstat import render_stats
+    from repro.telemetry.nfsstat import render_stats, stats_dict
 
     label, cluster = _telemetry_point(args)
-    print(f"== {args.figure} point {args.point} ({label}) ==")
-    print(render_stats(cluster))
+    if args.json:
+        import json
+
+        payload = {"figure": args.figure, "point": args.point,
+                   "label": label, **stats_dict(cluster)}
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"== {args.figure} point {args.point} ({label}) ==")
+        print(render_stats(cluster))
     return 0
+
+
+def cmd_health(args) -> int:
+    """Health checks + SLO gate; exit code is the worst verdict (0/1/2)."""
+    from repro.health import SINKS, run_health
+
+    report = run_health(
+        args.experiment,
+        scale=args.scale,
+        slo_path=args.slo,
+        point=args.point,
+        seed=args.seed,
+        crashes=args.crashes,
+    )
+    out = SINKS[args.sink](report)
+    if not out.endswith("\n"):
+        out += "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(out)
+        print(f"{args.experiment}/{args.scale}: {report.status.name} "
+              f"-> {args.out}")
+    else:
+        sys.stdout.write(out)
+    return report.exit_code
 
 
 def cmd_trace(args) -> int:
@@ -337,9 +370,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--point", type=int, default=0,
                        help="index into the figure's point grid (default 0)")
 
+    p = sub.add_parser(
+        "health",
+        help="health checks + SLO gate; exit 0 OK / 1 WARN / 2 CRITICAL")
+    from repro.health.runner import FIGURES as HEALTH_FIGURES
+
+    p.add_argument("--experiment", choices=(*HEALTH_FIGURES, "chaos"),
+                   default="fig5")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("--point", type=int, default=None,
+                   help="grade one grid index instead of the whole figure")
+    p.add_argument("--slo", default=None, metavar="FILE",
+                   help="TOML/JSON SLO thresholds layered over defaults")
+    p.add_argument("--sink", choices=("stdout", "json", "otel"),
+                   default="stdout")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write sink output to FILE instead of stdout")
+    p.add_argument("--seed", type=int, default=2007,
+                   help="(chaos) soak seed")
+    p.add_argument("--crashes", type=int, default=0,
+                   help="(chaos) seeded server crash-restarts to inject")
+    p.set_defaults(fn=cmd_health)
+
     p = sub.add_parser("stats",
                        help="nfsstat-style report for one figure point")
     _add_point_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable dump (stats_dict) instead of text")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("trace",

@@ -184,8 +184,15 @@ def run_chaos_soak(
     loss_rate: float = 0.01,
     qp_kills: int = 3,
     disk_faults: int = 2,
+    crashes: int = 0,
+    telemetry: bool = False,
 ) -> ChaosSoakOutcome:
-    """Build a faulted cluster, run the soak, check the invariants."""
+    """Build a faulted cluster, run the soak, check the invariants.
+
+    ``crashes`` arms that many seeded server crash-restarts on top of
+    the usual chaos mix; ``telemetry`` builds the cluster with the
+    metrics registry attached so ``repro health`` can grade the run.
+    """
     if scale == "quick":
         nfiles, file_bytes, transactions = 6, 16 * 1024, 30
         duration_us = 400_000.0
@@ -205,6 +212,7 @@ def run_chaos_soak(
         loss_rate=loss_rate,
         qp_kills=qp_kills,
         disk_faults=disk_faults,
+        crashes=crashes,
     )
     cluster = Cluster(ClusterConfig(
         transport="rdma-rw",
@@ -216,6 +224,7 @@ def run_chaos_soak(
         # armed disk faults actually land in the I/O path.
         cache_bytes=2 << 20,
         fault_plan=plan,
+        telemetry=telemetry,
     ))
     executions = _instrument(cluster)
     states = []

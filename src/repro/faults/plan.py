@@ -153,6 +153,8 @@ class FaultPlan:
         mean_delay_us: float = 200.0,
         stalls: int = 0,
         stall_us: float = 20_000.0,
+        crashes: int = 0,
+        restart_us: float = 50_000.0,
     ) -> "FaultPlan":
         """A randomized soak schedule, fully determined by ``seed``.
 
@@ -178,6 +180,12 @@ class FaultPlan:
         stall_specs = tuple(
             ServerStall(at_us=when(), duration_us=stall_us) for _ in range(stalls)
         )
+        # Crash draws come LAST so plans built with crashes=0 stay
+        # bit-identical to plans built before the parameter existed.
+        crash_specs = tuple(
+            ServerCrash(at_us=when(), restart_us=restart_us)
+            for _ in range(crashes)
+        )
         return cls(
             seed=seed,
             message_loss=loss,
@@ -185,4 +193,5 @@ class FaultPlan:
             qp_kills=tuple(sorted(kills, key=lambda k: k.at_us)),
             disk_faults=tuple(sorted(disks, key=lambda d: d.at_us)),
             server_stalls=stall_specs,
+            server_crashes=tuple(sorted(crash_specs, key=lambda c: c.at_us)),
         )

@@ -1,0 +1,50 @@
+"""Operator-grade health checks and SLO gates (DESIGN.md §14).
+
+The ``check-hca`` idiom turned into a subsystem: a registry of pluggable
+checks (:mod:`repro.health.checks`) grades a run's metrics registry
+against a layered SLO policy (:mod:`repro.health.slo`), a runner
+(:mod:`repro.health.runner`) attaches the checks to any figure grid,
+the chaos soak or a pre-built cluster, and sinks
+(:mod:`repro.health.sinks`) render the verdicts for humans, CI or an
+OTLP collector.  Exit codes are Nagios: 0 OK / 1 WARN / 2 CRITICAL.
+
+Surface: ``python -m repro health --experiment figN [--slo slo.toml]
+[--sink stdout|json|otel]``.
+"""
+
+from repro.health.checks import (
+    CHECKS,
+    CheckContext,
+    CheckResult,
+    Status,
+    register_check,
+    run_checks,
+)
+from repro.health.runner import (
+    HealthReport,
+    PointHealth,
+    health_of_cluster,
+    load_policy,
+    run_health,
+)
+from repro.health.sinks import SINKS
+from repro.health.slo import DEFAULT_SLO, SloPolicy, load_slo_file, resolve_slo
+
+__all__ = [
+    "CHECKS",
+    "CheckContext",
+    "CheckResult",
+    "DEFAULT_SLO",
+    "HealthReport",
+    "PointHealth",
+    "SINKS",
+    "SloPolicy",
+    "Status",
+    "health_of_cluster",
+    "load_policy",
+    "load_slo_file",
+    "register_check",
+    "resolve_slo",
+    "run_checks",
+    "run_health",
+]

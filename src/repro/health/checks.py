@@ -1,0 +1,426 @@
+"""The pluggable health-check registry (the ``check-hca`` idiom).
+
+Each check is a function ``(CheckContext) -> CheckResult`` registered
+under a stable name with :func:`register_check`; :func:`run_checks`
+executes every registered check in registration order.  A check reads
+**only** the metrics registry (plus the small :class:`CheckContext`
+facts the runner derives once) and grades what it sees against the
+resolved :class:`~repro.health.slo.SloPolicy` — it never touches live
+cluster objects, so the same check runs identically against a figure
+point, the chaos soak, a fig12 adversary campaign or a synthetic
+registry in a unit test.
+
+Every result carries an *evidence* dict: the raw numbers the verdict
+was computed from, so a WARN in CI is diagnosable from the JSON sink
+alone.  Status values are Nagios-graded: OK(0) / WARN(1) / CRITICAL(2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.health.slo import SloPolicy
+
+__all__ = [
+    "CHECKS",
+    "CheckContext",
+    "CheckResult",
+    "Status",
+    "register_check",
+    "run_checks",
+]
+
+
+class Status(enum.IntEnum):
+    """Nagios-style verdicts; ``int(status)`` is the exit code."""
+
+    OK = 0
+    WARN = 1
+    CRITICAL = 2
+
+
+@dataclass
+class CheckResult:
+    """One check's verdict plus the numbers behind it."""
+
+    check: str
+    status: Status
+    message: str
+    evidence: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return f"[{self.status.name}] {self.check}: {self.message}"
+
+
+@dataclass
+class CheckContext:
+    """What a check may read: the registry, the SLO, and derived facts.
+
+    ``nodes`` / ``queue_depth`` / ``srq_configured`` are derived once by
+    the runner from the cluster config (tests construct them directly),
+    so the check functions stay registry-pure.
+    """
+
+    registry: object                    # repro.telemetry.registry.Registry
+    slo: SloPolicy
+    experiment: str = ""
+    label: str = ""
+    nodes: int = 0                      # cluster nodes (server + clients)
+    queue_depth: Optional[int] = None   # dispatcher bound (None = unbounded)
+
+
+#: name -> check function, in registration order (= report order).
+CHECKS: dict[str, Callable[[CheckContext], CheckResult]] = {}
+
+
+def register_check(name: str):
+    """Decorator: add a check under ``name``; names are unique."""
+    def deco(fn):
+        if name in CHECKS:
+            raise ValueError(f"health check {name!r} already registered")
+        CHECKS[name] = fn
+        return fn
+    return deco
+
+
+def run_checks(ctx: CheckContext) -> list[CheckResult]:
+    """Every registered check, in registration order."""
+    return [fn(ctx) for fn in CHECKS.values()]
+
+
+# -- registry readers -------------------------------------------------------
+def _sum(registry, name: str) -> float:
+    family = registry.get(name)
+    if family is None:
+        return 0.0
+    return sum(child.value for _, child in family.items())
+
+
+def _has(registry, name: str) -> bool:
+    return registry.get(name) is not None
+
+
+def _by_label(registry, name: str, key: str) -> dict[str, float]:
+    family = registry.get(name)
+    if family is None:
+        return {}
+    return {labels[key]: child.value for labels, child in family.items()}
+
+
+def _grade(value: float, warn: Optional[float],
+           crit: Optional[float]) -> Status:
+    """``>=`` comparison against optional thresholds (None disables)."""
+    if crit is not None and value >= crit:
+        return Status.CRITICAL
+    if warn is not None and value >= warn:
+        return Status.WARN
+    return Status.OK
+
+
+def _worst(*statuses: Status) -> Status:
+    return max(statuses, default=Status.OK)
+
+
+# -- the checks -------------------------------------------------------------
+@register_check("hca")
+def check_hca(ctx: CheckContext) -> CheckResult:
+    """Adapter presence and queue-pair error states (check-hca)."""
+    slo, reg = ctx.slo, ctx.registry
+    hcas = len(_by_label(reg, "hca_qps", "node"))
+    expected = slo.get("hca", "expected_hcas")
+    if expected is None:
+        expected = ctx.nodes
+    qps = _sum(reg, "hca_qps")
+    qp_errors = _sum(reg, "hca_qps_error")
+    rnr = _sum(reg, "hca_rnr_events")
+    evidence = {"hcas": hcas, "expected_hcas": expected, "qps": qps,
+                "qp_errors": qp_errors, "rnr_events": rnr}
+    if expected and hcas < expected:
+        return CheckResult("hca", Status.CRITICAL,
+                           f"{hcas} HCAs present, expected {expected}",
+                           evidence)
+    status = _worst(
+        Status.WARN if expected and hcas > expected else Status.OK,
+        _grade(qp_errors, slo.get("hca", "qp_errors_warn"),
+               slo.get("hca", "qp_errors_crit")),
+        _grade(rnr, slo.get("hca", "rnr_events_warn"),
+               slo.get("hca", "rnr_events_crit")),
+    )
+    return CheckResult(
+        "hca", status,
+        f"{hcas} HCAs, {qps:.0f} QPs ({qp_errors:.0f} in ERROR), "
+        f"{rnr:.0f} RNR events", evidence)
+
+
+@register_check("srq")
+def check_srq(ctx: CheckContext) -> CheckResult:
+    """Shared receive pool: watermark crossings and exhaustion."""
+    slo, reg = ctx.slo, ctx.registry
+    if not _has(reg, "srq_entries"):
+        return CheckResult("srq", Status.OK, "no shared receive pool",
+                           {"configured": False})
+    entries = _sum(reg, "srq_entries")
+    min_avail = _sum(reg, "srq_min_available")
+    wm_hits = _sum(reg, "srq_low_watermark_hits")
+    exhaustions = _sum(reg, "srq_exhaustions")
+    evidence = {
+        "configured": True, "entries": entries,
+        "min_available": min_avail,
+        "low_watermark": _sum(reg, "srq_low_watermark"),
+        "low_watermark_hits": wm_hits, "exhaustions": exhaustions,
+        "takes": _sum(reg, "srq_takes"),
+        "recycles": _sum(reg, "srq_recycles"),
+        "registered_bytes": _sum(reg, "srq_registered_bytes"),
+    }
+    min_avail_crit = slo.get("srq", "min_available_crit")
+    status = _worst(
+        _grade(wm_hits, slo.get("srq", "low_watermark_hits_warn"),
+               slo.get("srq", "low_watermark_hits_crit")),
+        _grade(exhaustions, slo.get("srq", "exhaustions_warn"),
+               slo.get("srq", "exhaustions_crit")),
+        Status.CRITICAL if (min_avail_crit is not None
+                            and min_avail <= min_avail_crit) else Status.OK,
+    )
+    return CheckResult(
+        "srq", status,
+        f"pool {entries:.0f} entries, low-water {min_avail:.0f}, "
+        f"{wm_hits:.0f} watermark hits, {exhaustions:.0f} exhaustions",
+        evidence)
+
+
+@register_check("credits")
+def check_credits(ctx: CheckContext) -> CheckResult:
+    """Client credit gate: how often calls stalled on the grant."""
+    slo, reg = ctx.slo, ctx.registry
+    waits = _sum(reg, "rpc_credit_waits")
+    calls = _sum(reg, "rpc_calls_sent")
+    rate = waits / calls if calls else 0.0
+    evidence = {"credit_waits": waits, "calls_sent": calls,
+                "stall_rate": rate,
+                "outstanding_peak": max(
+                    _by_label(reg, "rpc_credit_outstanding_peak",
+                              "mount").values(), default=0.0)}
+    status = _grade(rate, slo.get("credits", "stall_rate_warn"),
+                    slo.get("credits", "stall_rate_crit"))
+    return CheckResult(
+        "credits", status,
+        f"{waits:.0f} stalls over {calls:.0f} calls "
+        f"({rate * 100:.1f}% stall rate)", evidence)
+
+
+@register_check("drc")
+def check_drc(ctx: CheckContext) -> CheckResult:
+    """Duplicate request cache coverage of actual retransmissions."""
+    slo, reg = ctx.slo, ctx.registry
+    retransmits = _sum(reg, "rpc_retransmits")
+    configured = _has(reg, "drc_inserts")
+    inserts = _sum(reg, "drc_inserts")
+    replays = _sum(reg, "drc_replays")
+    drops = _sum(reg, "drc_drops")
+    hits = replays + drops
+    evidence = {"configured": configured, "inserts": inserts,
+                "replays": replays, "drops": drops,
+                "retransmits": retransmits}
+    if not configured:
+        if retransmits > 0:
+            level = slo.get("drc", "missing_with_retransmits", "WARN")
+            return CheckResult(
+                "drc", Status[level],
+                f"{retransmits:.0f} retransmits with no DRC configured",
+                evidence)
+        return CheckResult("drc", Status.OK, "no DRC (and no retransmits)",
+                           evidence)
+    floor = slo.get("drc", "min_hit_rate")
+    if floor is not None and retransmits > 0:
+        rate = hits / retransmits
+        evidence["hit_rate"] = rate
+        if rate < floor:
+            return CheckResult(
+                "drc", Status.WARN,
+                f"duplicate coverage {rate * 100:.1f}% of "
+                f"{retransmits:.0f} retransmits (floor {floor * 100:.0f}%)",
+                evidence)
+    return CheckResult(
+        "drc", Status.OK,
+        f"{inserts:.0f} inserts, {replays:.0f} replays, "
+        f"{drops:.0f} in-progress drops", evidence)
+
+
+@register_check("registration")
+def check_registration(ctx: CheckContext) -> CheckResult:
+    """Registration pressure: FMR fallbacks, regcache hit rate, NAKs."""
+    slo, reg = ctx.slo, ctx.registry
+    maps = _sum(reg, "fmr_maps")
+    fallbacks = _sum(reg, "fmr_fallbacks")
+    fb_rate = fallbacks / maps if maps else 0.0
+    hits = _sum(reg, "regcache_hits")
+    misses = _sum(reg, "regcache_misses")
+    hit_rate = hits / (hits + misses) if hits + misses else None
+    faults = _sum(reg, "tpt_protection_faults")
+    evidence = {
+        "tpt_registrations": _sum(reg, "tpt_registrations"),
+        "tpt_live_entries": _sum(reg, "tpt_live_entries"),
+        "fmr_maps": maps, "fmr_fallbacks": fallbacks,
+        "fmr_fallback_rate": fb_rate,
+        "regcache_hits": hits, "regcache_misses": misses,
+        "regcache_hit_rate": hit_rate,
+        "protection_faults": faults,
+    }
+    statuses = [
+        _grade(fb_rate, slo.get("registration", "fmr_fallback_rate_warn"),
+               slo.get("registration", "fmr_fallback_rate_crit"))
+        if maps else Status.OK,
+        _grade(faults, slo.get("registration", "protection_faults_warn"),
+               slo.get("registration", "protection_faults_crit")),
+    ]
+    floor = slo.get("registration", "regcache_min_hit_rate")
+    if floor is not None and hit_rate is not None and hit_rate < floor:
+        statuses.append(Status.WARN)
+    parts = [f"{faults:.0f} protection faults"]
+    if maps:
+        parts.append(f"fmr fallback rate {fb_rate * 100:.1f}%")
+    if hit_rate is not None:
+        parts.append(f"regcache hit rate {hit_rate * 100:.1f}%")
+    return CheckResult("registration", _worst(*statuses),
+                       ", ".join(parts), evidence)
+
+
+@register_check("dispatcher")
+def check_dispatcher(ctx: CheckContext) -> CheckResult:
+    """Server run queue: peak depth vs bound, full-queue waits, errors."""
+    slo, reg = ctx.slo, ctx.registry
+    peak = _sum(reg, "rpc_queue_peak")
+    waits = _sum(reg, "rpc_queue_waits")
+    failed = _sum(reg, "rpc_server_failed")
+    nfsd_errors = _sum(reg, "nfsd_errors")
+    evidence = {"queue_peak": peak, "queue_depth": ctx.queue_depth,
+                "queue_waits": waits, "failed_calls": failed,
+                "nfsd_errors": nfsd_errors,
+                "calls_served": _sum(reg, "rpc_server_calls")}
+    statuses = [
+        _grade(waits, slo.get("dispatcher", "queue_waits_warn"),
+               slo.get("dispatcher", "queue_waits_crit")),
+        _grade(failed, None, slo.get("dispatcher", "failed_calls_crit")),
+        _grade(nfsd_errors, slo.get("dispatcher", "nfsd_errors_warn"), None),
+    ]
+    frac = slo.get("dispatcher", "queue_peak_warn_frac")
+    if ctx.queue_depth and frac is not None and peak >= frac * ctx.queue_depth:
+        statuses.append(Status.WARN)
+    bound = ctx.queue_depth if ctx.queue_depth else "unbounded"
+    return CheckResult(
+        "dispatcher", _worst(*statuses),
+        f"run-queue peak {peak:.0f} (bound {bound}), {waits:.0f} full "
+        f"waits, {failed:.0f} failed dispatches", evidence)
+
+
+@register_check("latency")
+def check_latency(ctx: CheckContext) -> CheckResult:
+    """Per-verb p50/p99 against the SLO's latency limits."""
+    slo, reg = ctx.slo, ctx.registry
+    family = reg.get("nfs_client_latency_us")
+    if family is None:
+        return CheckResult("latency", Status.OK, "no latency histograms",
+                           {"verbs": {}})
+    # Merge mounts per verb (the exact recorders, not bucket sums).
+    from repro.analysis.latency import LatencyRecorder
+
+    merged: dict[str, LatencyRecorder] = {}
+    for labels, child in family.items():
+        rec = merged.setdefault(labels["verb"], LatencyRecorder())
+        rec.extend(child.recorder)
+    status = Status.OK
+    offenders: list[str] = []
+    verbs_out = {}
+    for verb in sorted(merged):
+        s = merged[verb].summarize()
+        limits = {
+            "p50_warn_us": slo.verb(verb, "p50_warn_us"),
+            "p99_warn_us": slo.verb(verb, "p99_warn_us"),
+            "p99_crit_us": slo.verb(verb, "p99_crit_us"),
+        }
+        verbs_out[verb] = {"count": s.count, "p50_us": s.p50,
+                           "p99_us": s.p99, "limits": limits}
+        verb_status = _worst(
+            _grade(s.p50, limits["p50_warn_us"], None),
+            _grade(s.p99, limits["p99_warn_us"], limits["p99_crit_us"]),
+        )
+        if verb_status is not Status.OK:
+            offenders.append(
+                f"{verb} p50={s.p50:.0f}us p99={s.p99:.0f}us "
+                f"({verb_status.name})")
+        status = _worst(status, verb_status)
+    message = ("; ".join(offenders) if offenders
+               else f"{len(verbs_out)} verbs within SLO")
+    return CheckResult("latency", status, message, {"verbs": verbs_out})
+
+
+@register_check("security")
+def check_security(ctx: CheckContext) -> CheckResult:
+    """Policy escalations and pinned advertised (pending-DONE) bytes."""
+    slo, reg = ctx.slo, ctx.registry
+    if not _has(reg, "security_naks"):
+        return CheckResult("security", Status.OK, "no security policy",
+                           {"configured": False})
+    warned = _sum(reg, "security_warnings")
+    throttled = _sum(reg, "security_throttles")
+    quarantined = _sum(reg, "security_quarantined_mounts")
+    exposure = _sum(reg, "security_exposure_bytes")
+    evidence = {
+        "configured": True,
+        "naks": _sum(reg, "security_naks"),
+        "malformed_wrs": _sum(reg, "security_malformed_wrs"),
+        "bad_calls": _sum(reg, "security_bad_calls"),
+        "lease_reclaims": _sum(reg, "security_lease_reclaims"),
+        "quota_evictions": _sum(reg, "security_quota_evictions"),
+        "warned": warned, "throttled": throttled,
+        "quarantined": quarantined,
+        "redials_refused": _sum(reg, "security_redials_refused"),
+        "exposure_bytes": exposure,
+    }
+    status = _worst(
+        _grade(warned, slo.get("security", "warned_warn"), None),
+        _grade(throttled, slo.get("security", "throttled_warn"), None),
+        _grade(quarantined, slo.get("security", "quarantined_warn"),
+               slo.get("security", "quarantined_crit")),
+        _grade(exposure, slo.get("security", "exposure_bytes_warn"),
+               slo.get("security", "exposure_bytes_crit")),
+    )
+    return CheckResult(
+        "security", status,
+        f"{warned:.0f} warned / {throttled:.0f} throttled / "
+        f"{quarantined:.0f} quarantined, {exposure:.0f} B pinned",
+        evidence)
+
+
+@register_check("faults")
+def check_faults(ctx: CheckContext) -> CheckResult:
+    """Recovery machinery: redials, retransmit storms, crash-restarts."""
+    slo, reg = ctx.slo, ctx.registry
+    reconnects = _sum(reg, "rpc_reconnects")
+    retransmits = _sum(reg, "rpc_retransmits")
+    calls = _sum(reg, "rpc_calls_sent")
+    rate = retransmits / calls if calls else 0.0
+    crashes = _sum(reg, "faults_server_crashes")
+    evidence = {
+        "reconnects": reconnects, "retransmits": retransmits,
+        "calls_sent": calls, "retransmit_rate": rate,
+        "calls_recovered": _sum(reg, "rpc_calls_recovered"),
+        "server_crashes": crashes,
+        "server_stalls": _sum(reg, "faults_server_stalls"),
+        "messages_dropped": _sum(reg, "faults_messages_dropped"),
+        "qp_kills": _sum(reg, "faults_qp_kills"),
+    }
+    status = _worst(
+        _grade(reconnects, slo.get("faults", "reconnects_warn"),
+               slo.get("faults", "reconnects_crit")),
+        _grade(rate, slo.get("faults", "retransmit_rate_warn"),
+               slo.get("faults", "retransmit_rate_crit")),
+        _grade(crashes, slo.get("faults", "crashes_warn"),
+               slo.get("faults", "crashes_crit")),
+    )
+    return CheckResult(
+        "faults", status,
+        f"{reconnects:.0f} redials, {retransmits:.0f} retransmits "
+        f"({rate * 100:.1f}%), {crashes:.0f} crash-restarts", evidence)

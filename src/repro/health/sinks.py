@@ -1,0 +1,116 @@
+"""Report sinks: where a :class:`HealthReport` goes.
+
+Three formats behind one ``render(report) -> str`` protocol:
+
+* ``stdout`` — the operator view: one verdict table per point plus a
+  one-line summary, colorless and column-aligned (``format_table``);
+* ``json`` — the machine view: the full report including each check's
+  evidence dict **and** the per-point ``stats_dict`` registry dump, so
+  CI artifacts carry everything needed to diagnose a WARN offline;
+* ``otel`` — an OTLP-flavored line protocol (one metric data point per
+  line) keyed on *simulated* time only — no wallclock anywhere, per the
+  repo's purity rules.
+
+Sinks format; they never print or open files.  The CLI decides where
+the bytes land.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.stats import format_table
+from repro.health.runner import HealthReport
+
+__all__ = ["SINKS", "render_json", "render_otel", "render_stdout"]
+
+
+def render_stdout(report: HealthReport) -> str:
+    """Human verdict tables, one per graded point."""
+    blocks = []
+    for point in report.points:
+        rows = [[r.status.name, r.check, r.message] for r in point.results]
+        table = format_table(["status", "check", "detail"], rows)
+        blocks.append(f"== {report.experiment} {point.label} "
+                      f"[{point.status.name}] ==\n{table}")
+    worst = report.status
+    failing = report.failing()
+    if failing:
+        names = ", ".join(sorted({r.check for _, r in failing}))
+        summary = (f"{report.experiment}/{report.scale}: {worst.name} "
+                   f"({len(failing)} non-OK verdicts: {names}) "
+                   f"slo={report.slo.source}")
+    else:
+        summary = (f"{report.experiment}/{report.scale}: OK "
+                   f"({len(report.points)} points, "
+                   f"{len(report.points[0].results) if report.points else 0} "
+                   f"checks each) slo={report.slo.source}")
+    blocks.append(summary)
+    return "\n\n".join(blocks)
+
+
+def render_json(report: HealthReport) -> str:
+    """The whole report as JSON: verdicts, evidence, registry dumps."""
+    payload = {
+        "experiment": report.experiment,
+        "scale": report.scale,
+        "status": report.status.name,
+        "exit_code": report.exit_code,
+        "slo_source": report.slo.source,
+        "points": [
+            {
+                "label": p.label,
+                "status": p.status.name,
+                "sim_us": p.sim_us,
+                "checks": [
+                    {
+                        "check": r.check,
+                        "status": r.status.name,
+                        "message": r.message,
+                        "evidence": r.evidence,
+                    }
+                    for r in p.results
+                ],
+                "stats": p.stats,
+            }
+            for p in report.points
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def _otel_attrs(attrs: dict) -> str:
+    return ",".join(f'{k}="{v}"' for k, v in attrs.items())
+
+
+def render_otel(report: HealthReport) -> str:
+    """OTLP-flavored lines: one gauge data point per check verdict.
+
+    ``repro.health.status{...} <0|1|2> <sim_us>`` plus one line per
+    numeric evidence value.  Timestamps are simulated microseconds (the
+    point's end time) — deliberately not wallclock, so two runs of the
+    same seed produce byte-identical output.
+    """
+    lines = []
+    for point in report.points:
+        base = {"experiment": report.experiment, "scale": report.scale,
+                "point": point.label}
+        ts = int(point.sim_us)
+        for r in point.results:
+            attrs = _otel_attrs({**base, "check": r.check})
+            lines.append(
+                f"repro.health.status{{{attrs}}} {int(r.status)} {ts}")
+            for key, value in r.evidence.items():
+                if isinstance(value, bool) or not isinstance(
+                        value, (int, float)):
+                    continue
+                ev = _otel_attrs({**base, "check": r.check, "key": key})
+                lines.append(f"repro.health.evidence{{{ev}}} {value} {ts}")
+    return "\n".join(lines) + "\n"
+
+
+SINKS = {
+    "stdout": render_stdout,
+    "json": render_json,
+    "otel": render_otel,
+}

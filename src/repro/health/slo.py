@@ -1,0 +1,147 @@
+"""SLO policies: the thresholds the health checks grade against.
+
+A policy is a nested mapping ``check name -> threshold name -> value``.
+Three layers merge, most specific last:
+
+* :data:`DEFAULT_SLO` — conservative built-ins tuned so a clean quick
+  run of any registry figure is all-OK (``None`` disables a rule);
+* the SLO file's top-level ``[checks.*]`` tables;
+* the SLO file's ``[figures.<experiment>.checks.*]`` tables, so one
+  committed file can hold fleet-wide limits plus per-figure overrides
+  (fig11's 64-client points legitimately run hotter than fig5's).
+
+Files are TOML (stdlib ``tomllib``) or JSON, selected by extension.
+The latency check additionally resolves per-verb overrides through
+``verbs.<VERB>.<key>`` inside its own table.
+"""
+
+from __future__ import annotations
+
+import json
+from copy import deepcopy
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["DEFAULT_SLO", "SloPolicy", "load_slo_file", "resolve_slo"]
+
+#: Built-in thresholds.  A value of ``None`` disables the rule; a check
+#: compares its observed value against ``*_warn`` / ``*_crit`` with
+#: ``>=`` semantics (counters and rates only go up).
+DEFAULT_SLO: dict[str, dict[str, Any]] = {
+    "hca": {
+        # One adapter per node is structural; missing HCAs are CRITICAL
+        # (the check-hca idiom), surplus is WARN.
+        "expected_hcas": None,          # None = nodes in the cluster
+        "qp_errors_warn": 1,            # any QP parked in ERROR
+        "qp_errors_crit": None,
+        "rnr_events_warn": None,
+        "rnr_events_crit": None,
+    },
+    "srq": {
+        "low_watermark_hits_warn": 1,   # pool drained to the repost line
+        "low_watermark_hits_crit": None,
+        "exhaustions_warn": 1,          # RNR path actually taken
+        "exhaustions_crit": None,
+        "min_available_crit": 0,        # pool fully drained at some point
+    },
+    "credits": {
+        "stall_rate_warn": 0.25,        # stalled acquisitions / calls sent
+        "stall_rate_crit": None,
+    },
+    "drc": {
+        # Coverage is judged only when the wire actually retransmitted.
+        "min_hit_rate": None,           # (replays+drops)/retransmits floor
+        "missing_with_retransmits": "WARN",
+    },
+    "registration": {
+        "fmr_fallback_rate_warn": 0.01,  # fallbacks / maps
+        "fmr_fallback_rate_crit": 0.25,
+        "regcache_min_hit_rate": None,   # hits / (hits+misses) floor
+        "protection_faults_warn": 1,
+        "protection_faults_crit": None,
+    },
+    "dispatcher": {
+        "queue_peak_warn_frac": 0.8,    # of the configured bound
+        "queue_waits_warn": 1,
+        "queue_waits_crit": None,
+        "failed_calls_crit": 1,         # dispatches that raised
+        "nfsd_errors_warn": None,
+    },
+    "latency": {
+        # Base limits apply to every verb; ``verbs.<VERB>.<key>``
+        # overrides per verb.  All disabled by default — the SLO file
+        # carries the real numbers.
+        "p50_warn_us": None,
+        "p99_warn_us": None,
+        "p99_crit_us": None,
+        "verbs": {},
+    },
+    "security": {
+        "warned_warn": 1,
+        "throttled_warn": 1,
+        "quarantined_warn": 1,
+        "quarantined_crit": None,
+        "exposure_bytes_warn": None,    # pinned advertised bytes, now
+        "exposure_bytes_crit": None,
+        "pinned_peak_warn_bytes": None,
+    },
+    "faults": {
+        "reconnects_warn": 1,           # redials = healed QP deaths
+        "reconnects_crit": None,
+        "retransmit_rate_warn": 0.05,   # retransmits / calls sent
+        "retransmit_rate_crit": 0.75,   # retransmit storm
+        "crashes_warn": 1,
+        "crashes_crit": None,
+    },
+}
+
+
+def _deep_merge(base: dict, overlay: dict) -> dict:
+    """Recursive dict merge; overlay scalars win, dicts merge."""
+    out = dict(base)
+    for key, value in overlay.items():
+        if isinstance(value, dict) and isinstance(out.get(key), dict):
+            out[key] = _deep_merge(out[key], value)
+        else:
+            out[key] = value
+    return out
+
+
+def load_slo_file(path: str) -> dict:
+    """Parse a ``.toml`` or ``.json`` SLO file into the raw layer dict."""
+    if path.endswith(".toml"):
+        import tomllib
+
+        with open(path, "rb") as fh:
+            return tomllib.load(fh)
+    with open(path) as fh:
+        return json.load(fh)
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Resolved thresholds for one experiment."""
+
+    checks: dict[str, dict[str, Any]] = field(default_factory=dict)
+    source: str = "defaults"
+    experiment: str = ""
+
+    def get(self, check: str, key: str, default: Any = None) -> Any:
+        return self.checks.get(check, {}).get(key, default)
+
+    def verb(self, verb: str, key: str) -> Optional[float]:
+        """Latency limit for ``verb``: per-verb override, then base."""
+        table = self.checks.get("latency", {})
+        override = table.get("verbs", {}).get(verb, {}).get(key)
+        return override if override is not None else table.get(key)
+
+
+def resolve_slo(data: Optional[dict], experiment: str,
+                source: str = "defaults") -> SloPolicy:
+    """Merge defaults ← file ``[checks]`` ← ``[figures.<exp>.checks]``."""
+    checks = deepcopy(DEFAULT_SLO)
+    if data:
+        checks = _deep_merge(checks, data.get("checks", {}))
+        figure = data.get("figures", {}).get(experiment, {})
+        checks = _deep_merge(checks, figure.get("checks", {}))
+    return SloPolicy(checks=checks, source=source, experiment=experiment)

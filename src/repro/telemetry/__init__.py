@@ -22,6 +22,7 @@ either way.
 
 from __future__ import annotations
 
+from repro.ib.verbs import QPState
 from repro.telemetry.registry import Counter, Gauge, Histogram, Registry, Sample
 from repro.telemetry.spans import Span, SpanTracer
 
@@ -100,6 +101,14 @@ class Telemetry:
                            "transport redials after fatal QP errors", mount=m)
                 reg.attach("rpc_calls_recovered", _events(t.calls_recovered),
                            "calls replayed across a reconnect", mount=m)
+            credits = getattr(t, "credits", None)
+            if credits is not None:
+                reg.attach("rpc_credit_waits", _events(credits.waits),
+                           "calls that stalled on an exhausted credit grant",
+                           mount=m)
+                reg.attach("rpc_credit_outstanding_peak",
+                           lambda c=credits: float(c.outstanding_peak),
+                           "deepest concurrent-call level seen", mount=m)
 
         rpc = cluster.rpc_server
         reg.attach("rpc_server_calls", _events(rpc.calls_served),
@@ -128,6 +137,17 @@ class Telemetry:
             reg.attach("srq_registered_bytes",
                        lambda s=srq: float(s.registered_bytes),
                        "registered receive-buffer memory, whole server")
+            reg.attach("srq_recycles", _events(srq.recycles),
+                       "buffers reposted to the pool after consumption")
+            reg.attach("srq_low_watermark",
+                       lambda s=srq: float(s.low_watermark),
+                       "repost threshold the pool guards")
+            reg.attach("srq_low_watermark_hits",
+                       _events(srq.low_watermark_hits),
+                       "times the pool drained down to the watermark")
+            reg.attach("srq_reclaimed_on_detach",
+                       _events(srq.reclaimed_on_detach),
+                       "parked deliveries drained back on connection death")
         if cluster.drc is not None:
             drc = cluster.drc
             reg.attach("drc_inserts", _events(drc.inserts),
@@ -152,6 +172,12 @@ class Telemetry:
                        "bytes moved by RDMA Reads", node=n)
             reg.attach("hca_rnr_events", _events(hca.rnr_events),
                        "receiver-not-ready stalls", node=n)
+            reg.attach("hca_qps", lambda h=hca: float(len(h.qps)),
+                       "queue pairs created on this adapter", node=n)
+            reg.attach("hca_qps_error",
+                       lambda h=hca: float(sum(
+                           1 for qp in h.qps if qp.state is QPState.ERROR)),
+                       "queue pairs currently in the ERROR state", node=n)
             tpt = hca.tpt
             reg.attach("tpt_registrations", _events(tpt.registrations),
                        "memory registrations installed", node=n)

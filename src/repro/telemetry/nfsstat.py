@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.analysis.latency import LatencyRecorder
 from repro.analysis.stats import format_table
 
-__all__ = ["render_stats"]
+__all__ = ["render_stats", "stats_dict"]
 
 
 def _rows(registry, name):
@@ -60,18 +60,20 @@ def _verb_section(telemetry) -> str:
 def _mount_section(registry) -> str:
     mounts: dict[str, dict[str, float]] = {}
     for metric in ("rpc_calls_sent", "rpc_retransmits", "rpc_reconnects",
-                   "rpc_calls_recovered"):
+                   "rpc_calls_recovered", "rpc_credit_waits"):
         for labels, child in _rows(registry, metric):
             mounts.setdefault(labels["mount"], {})[metric] = child.value
     rows = [
         [mount, _fmt(vals.get("rpc_calls_sent", 0.0)),
          _fmt(vals.get("rpc_retransmits", 0.0)),
          _fmt(vals.get("rpc_reconnects", 0.0)),
-         _fmt(vals.get("rpc_calls_recovered", 0.0))]
+         _fmt(vals.get("rpc_calls_recovered", 0.0)),
+         _fmt(vals.get("rpc_credit_waits", 0.0))]
         for mount, vals in sorted(mounts.items())
     ]
     table = format_table(
-        ["mount", "calls", "retrans", "reconnects", "recovered"], rows)
+        ["mount", "calls", "retrans", "reconnects", "recovered",
+         "credit waits"], rows)
     return "RPC transport (per mount):\n" + table
 
 
@@ -108,7 +110,11 @@ def _srq_section(registry) -> str:
         ("srq_available", "posted + unclaimed now"),
         ("srq_min_available", "low-water mark"),
         ("srq_takes", "buffers claimed"),
+        ("srq_recycles", "buffers reposted"),
+        ("srq_low_watermark", "low-watermark threshold"),
+        ("srq_low_watermark_hits", "low-watermark crossings"),
         ("srq_exhaustions", "pool-empty arrivals (RNR)"),
+        ("srq_reclaimed_on_detach", "reclaimed on detach"),
         ("srq_registered_bytes", "registered recv bytes"),
     ])
 
@@ -204,13 +210,62 @@ def _fault_section(registry) -> str:
     ])
 
 
-def render_stats(cluster) -> str:
-    """The full nfsstat-style report for a cluster with telemetry attached."""
+def _require_telemetry(cluster):
     telemetry = getattr(cluster, "telemetry", None)
     if telemetry is None:
         raise ValueError(
             "cluster has no telemetry (build with ClusterConfig(telemetry=True) "
             "or call cluster.enable_telemetry())")
+    return telemetry
+
+
+def stats_dict(cluster) -> dict:
+    """The nfsstat report as plain data (the ``--json`` / health-sink form).
+
+    Two views of the same registry:
+
+    * ``verbs`` — per-verb client/server op counts with the merged
+      latency distribution (mean/p50/p90/p99/max), mirroring the text
+      report's first table;
+    * ``samples`` — every registry sample as ``{name, labels, value}``
+      in collection order, so nothing the registry knows is dropped.
+
+    Everything is JSON-native (str/int/float/dict/list); round-tripping
+    through ``json.dumps``/``loads`` is lossless.
+    """
+    telemetry = _require_telemetry(cluster)
+    counts: dict[str, float] = {}
+    recorders: dict[str, LatencyRecorder] = {}
+    for labels, child in telemetry.client_ops.items():
+        counts[labels["verb"]] = counts.get(labels["verb"], 0.0) + child.value
+    for labels, child in telemetry.client_latency.items():
+        merged = recorders.setdefault(labels["verb"], LatencyRecorder())
+        merged.extend(child.recorder)
+    server_counts = {labels["verb"]: child.value
+                     for labels, child in telemetry.server_ops.items()}
+    verbs = {}
+    for verb in sorted(set(counts) | set(server_counts)):
+        entry = {
+            "client_ops": counts.get(verb, 0.0),
+            "server_ops": server_counts.get(verb, 0.0),
+        }
+        if verb in recorders:
+            s = recorders[verb].summarize()
+            entry["latency_us"] = {
+                "count": s.count, "mean": s.mean, "p50": s.p50,
+                "p90": s.p90, "p99": s.p99, "max": s.maximum,
+            }
+        verbs[verb] = entry
+    samples = [
+        {"name": s.name, "labels": dict(s.labels), "value": s.value}
+        for s in telemetry.registry.collect()
+    ]
+    return {"verbs": verbs, "samples": samples}
+
+
+def render_stats(cluster) -> str:
+    """The full nfsstat-style report for a cluster with telemetry attached."""
+    telemetry = _require_telemetry(cluster)
     registry = telemetry.registry
     sections = [
         _verb_section(telemetry),

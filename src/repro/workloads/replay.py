@@ -1,0 +1,333 @@
+"""Trace-driven replay: record a run's op mix, play it back as load.
+
+The SPECsfs idea applied to the simulator's own traces: any run with
+span tracing on leaves a stream of ``nfs.*`` client spans (READ and
+WRITE additionally carry their offset and count).  :func:`record_trace`
+compresses that stream into an :class:`OpTrace` — a per-verb operation
+mix plus quantized offset/size distributions, a few hundred bytes of
+JSON however long the source run was — and :func:`run_replay` plays the
+trace back against any cluster as a closed-loop workload.
+
+Replay is deterministic: every draw (next verb, offset, size) comes
+from a :class:`~repro.sim.DeterministicRNG` seeded by the params, so
+the same trace on the same cluster config produces bit-identical
+results — which makes a recorded trace a *portable scenario*: record
+once on the baseline, replay against a different transport, strategy
+or fault plan and compare like with like.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.latency import LatencyRecorder
+from repro.experiments.cluster import Cluster
+from repro.payload import Payload
+from repro.sim import AllOf, DeterministicRNG
+
+__all__ = ["OpTrace", "ReplayParams", "ReplayResult", "record_trace",
+           "run_replay"]
+
+TRACE_FORMAT = "repro-optrace-v1"
+
+#: Distributions longer than this are quantized to this many points.
+MAX_DIST_POINTS = 32
+
+
+def _compress(values: list[int],
+              max_points: int = MAX_DIST_POINTS) -> list[list[int]]:
+    """``[[value, count], ...]`` sorted by value, at most ``max_points``.
+
+    Over-long distributions are grouped into contiguous equal-width
+    (by unique-value index) buckets; each bucket is represented by its
+    weighted-mean value.  Deterministic: no sampling, no hashing order.
+    """
+    counts = sorted(Counter(values).items())
+    if len(counts) <= max_points:
+        return [[int(v), int(c)] for v, c in counts]
+    out = []
+    n = len(counts)
+    for b in range(max_points):
+        lo, hi = b * n // max_points, (b + 1) * n // max_points
+        bucket = counts[lo:hi]
+        if not bucket:
+            continue
+        weight = sum(c for _, c in bucket)
+        mean = sum(v * c for v, c in bucket) / weight
+        out.append([int(round(mean)), int(weight)])
+    return out
+
+
+def _draw(rng: DeterministicRNG, dist: list[list[int]]) -> int:
+    """Weighted draw from a ``[[value, count], ...]`` distribution."""
+    total = sum(c for _, c in dist)
+    pick = rng.integers(0, total)
+    for value, count in dist:
+        pick -= count
+        if pick < 0:
+            return value
+    return dist[-1][0]
+
+
+@dataclass
+class OpTrace:
+    """A compact op-mix trace: verb weights + size/offset distributions."""
+
+    mix: dict = field(default_factory=dict)    # verb -> op count
+    dists: dict = field(default_factory=dict)  # verb -> {"offset": [[v,c]..],
+    #                                                      "count": [[v,c]..]}
+    source: str = ""
+    ops_total: int = 0
+
+    # -- persistence ------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "format": TRACE_FORMAT,
+            "source": self.source,
+            "ops_total": self.ops_total,
+            "mix": self.mix,
+            "dists": self.dists,
+        }, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "OpTrace":
+        data = json.loads(text)
+        if data.get("format") != TRACE_FORMAT:
+            raise ValueError(
+                f"not a {TRACE_FORMAT} trace: {data.get('format')!r}")
+        return cls(mix=data["mix"], dists=data["dists"],
+                   source=data.get("source", ""),
+                   ops_total=data.get("ops_total", 0))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "OpTrace":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    # -- replay helpers ---------------------------------------------------
+    def max_extent(self, verb: str) -> int:
+        """Largest offset+count the trace saw for ``verb`` (0 if none)."""
+        d = self.dists.get(verb, {})
+        offsets = d.get("offset") or [[0, 0]]
+        sizes = d.get("count") or [[0, 0]]
+        return max(v for v, _ in offsets) + max(v for v, _ in sizes)
+
+
+def record_trace(tracer, source: str = "") -> OpTrace:
+    """Compress a tracer's ``nfs.*`` client spans into an :class:`OpTrace`.
+
+    Takes any :class:`~repro.telemetry.spans.SpanTracer` (typically
+    ``cluster.telemetry.tracer`` after a run).  Only closed client-side
+    NFS op spans count; offsets/counts come from the span args the
+    client records on READ and WRITE.
+    """
+    mix: Counter = Counter()
+    offsets: dict[str, list[int]] = {}
+    sizes: dict[str, list[int]] = {}
+    for span in tracer.spans:
+        if span.cat != "client" or not span.name.startswith("nfs."):
+            continue
+        verb = span.name[4:]
+        mix[verb] += 1
+        if "offset" in span.args:
+            offsets.setdefault(verb, []).append(int(span.args["offset"]))
+        if "count" in span.args:
+            sizes.setdefault(verb, []).append(int(span.args["count"]))
+    dists = {}
+    for verb in sorted(set(offsets) | set(sizes)):
+        entry = {}
+        if verb in offsets:
+            entry["offset"] = _compress(offsets[verb])
+        if verb in sizes:
+            entry["count"] = _compress(sizes[verb])
+        dists[verb] = entry
+    return OpTrace(mix=dict(sorted(mix.items())), dists=dists,
+                   source=source, ops_total=sum(mix.values()))
+
+
+@dataclass(frozen=True)
+class ReplayParams:
+    """One replay run.
+
+    ``ops_per_thread`` of None replays the trace's own op count split
+    across the threads.
+    """
+
+    ops_per_thread: Optional[int] = None
+    nthreads: int = 1
+    seed: int = 2007
+    #: ceiling on the pre-populated working file (keeps replays of
+    #: traces with huge read extents bounded).
+    file_bytes_cap: int = 8 << 20
+
+
+@dataclass
+class ReplayResult:
+    ops_total: int
+    elapsed_us: float
+    ops_per_s: float
+    verb_counts: dict
+    bytes_read: int
+    bytes_written: int
+    latency: object = None          # LatencySummary over all replayed ops
+    skipped_verbs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-data table for determinism comparisons."""
+        lat = self.latency
+        return {
+            "ops_total": self.ops_total,
+            "elapsed_us": self.elapsed_us,
+            "ops_per_s": self.ops_per_s,
+            "verb_counts": dict(sorted(self.verb_counts.items())),
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "skipped_verbs": dict(sorted(self.skipped_verbs.items())),
+            "latency_us": {
+                "count": lat.count, "mean": lat.mean, "p50": lat.p50,
+                "p99": lat.p99, "max": lat.maximum,
+            } if lat is not None else None,
+        }
+
+
+def _populate(nfs, fh, size: int):
+    """Fill the working file to ``size`` bytes in 1 MB strides."""
+    stride = 1 << 20
+    pos = 0
+    while pos < size:
+        chunk = min(stride, size - pos)
+        yield from nfs.write(fh, pos, Payload.zeros(chunk))
+        pos += chunk
+
+
+def run_replay(cluster: Cluster, trace: OpTrace,
+               params: ReplayParams = ReplayParams()) -> ReplayResult:
+    """Play ``trace`` back against ``cluster`` as a closed-loop workload.
+
+    Threads round-robin over the cluster's mounts.  Each drawn op maps
+    onto the corresponding :class:`~repro.nfs.client.NfsClient` call;
+    verbs with no replay mapping (or setup-only verbs like NULL) are
+    dropped from the mix and reported in ``skipped_verbs``.
+    """
+    sim = cluster.sim
+    mix = {v: c for v, c in trace.mix.items() if c > 0}
+    supported = {"READ", "WRITE", "CREATE", "REMOVE", "LOOKUP", "GETATTR",
+                 "SETATTR", "ACCESS", "READDIR", "READDIRPLUS", "COMMIT",
+                 "FSSTAT", "FSINFO", "PATHCONF"}
+    skipped = {v: c for v, c in mix.items() if v not in supported}
+    mix = [(v, c) for v, c in sorted(mix.items()) if v in supported]
+    if not mix:
+        raise ValueError("trace has no replayable operations")
+    total_weight = sum(c for _, c in mix)
+    ops_per_thread = (params.ops_per_thread
+                      if params.ops_per_thread is not None
+                      else max(1, trace.ops_total // params.nthreads))
+    extent = max(trace.max_extent("READ"), trace.max_extent("WRITE"),
+                 4096)
+    file_bytes = min(extent, params.file_bytes_cap)
+    stats = {"ops": 0, "read": 0, "written": 0}
+    verb_counts: Counter = Counter()
+    latency = LatencyRecorder("replay")
+    rng = DeterministicRNG(params.seed, "replay")
+
+    def _offset(trng, verb: str, count: int) -> int:
+        dist = trace.dists.get(verb, {}).get("offset")
+        off = _draw(trng, dist) if dist else 0
+        # Clamp into the working file so every read hits real bytes.
+        return max(0, min(off, file_bytes - count))
+
+    def _count(trng, verb: str) -> int:
+        dist = trace.dists.get(verb, {}).get("count")
+        n = _draw(trng, dist) if dist else 4096
+        return max(1, min(n, file_bytes))
+
+    def worker(index: int):
+        trng = rng.child(f"t{index}")
+        mount = cluster.mounts[index % len(cluster.mounts)]
+        nfs = mount.nfs
+        fh, _ = yield from nfs.create(nfs.root, f"replay-{index}")
+        yield from _populate(nfs, fh, file_bytes)
+        buf = (mount.node.arena.alloc(file_bytes)
+               if cluster.config.is_rdma else None)
+        spare: list[str] = []
+        serial = 0
+        for opno in range(ops_per_thread):
+            pick = trng.integers(0, total_weight)
+            for verb, weight in mix:
+                pick -= weight
+                if pick < 0:
+                    break
+            t0 = sim.now
+            if verb == "READ":
+                n = _count(trng, verb)
+                data, _, _ = yield from nfs.read(
+                    fh, _offset(trng, verb, n), n, read_buffer=buf)
+                stats["read"] += len(data)
+            elif verb == "WRITE":
+                n = _count(trng, verb)
+                yield from nfs.write(fh, _offset(trng, verb, n),
+                                     Payload.zeros(n))
+                stats["written"] += n
+            elif verb == "CREATE":
+                name = f"replay-{index}-s{serial}"
+                serial += 1
+                yield from nfs.create(nfs.root, name)
+                spare.append(name)
+            elif verb == "REMOVE":
+                if not spare:
+                    name = f"replay-{index}-s{serial}"
+                    serial += 1
+                    yield from nfs.create(nfs.root, name)
+                    spare.append(name)
+                yield from nfs.remove(nfs.root, spare.pop())
+            elif verb == "LOOKUP":
+                yield from nfs.lookup(nfs.root, f"replay-{index}")
+            elif verb == "GETATTR":
+                yield from nfs.getattr(fh)
+            elif verb == "SETATTR":
+                yield from nfs.setattr(fh, mode=0o644)
+            elif verb == "ACCESS":
+                yield from nfs.access(fh)
+            elif verb == "READDIR":
+                yield from nfs.readdir(nfs.root)
+            elif verb == "READDIRPLUS":
+                yield from nfs.readdirplus(nfs.root)
+            elif verb == "COMMIT":
+                yield from nfs.commit(fh)
+            elif verb == "FSSTAT":
+                yield from nfs.fsstat()
+            elif verb == "FSINFO":
+                yield from nfs.fsinfo()
+            elif verb == "PATHCONF":
+                yield from nfs.pathconf()
+            latency.record(sim.now - t0)
+            verb_counts[verb] += 1
+            stats["ops"] += 1
+
+    cluster.reset_utilization_windows()
+    t0 = sim.now
+    procs = [sim.process(worker(i), name=f"replay.t{i}")
+             for i in range(params.nthreads)]
+
+    def barrier():
+        yield AllOf(sim, procs)
+
+    cluster.run(barrier())
+    elapsed = sim.now - t0
+    return ReplayResult(
+        ops_total=stats["ops"],
+        elapsed_us=elapsed,
+        ops_per_s=stats["ops"] / (elapsed / 1e6) if elapsed else 0.0,
+        verb_counts=dict(verb_counts),
+        bytes_read=stats["read"],
+        bytes_written=stats["written"],
+        latency=latency.summarize(),
+        skipped_verbs=skipped,
+    )

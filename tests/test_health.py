@@ -1,0 +1,354 @@
+"""Health subsystem tests: SLO layering, per-check grading, the gate.
+
+Covers the PR's acceptance criteria:
+
+* every check crosses OK → WARN → CRITICAL on a synthetic registry as
+  its SLO thresholds dictate (no cluster needed);
+* SLO files layer defaults ← ``[checks]`` ← ``[figures.<exp>.checks]``
+  with per-verb latency overrides, in both TOML and JSON;
+* ``run_health`` on a real fig5 point exits 0 against the committed
+  SLO, and all three sinks render it;
+* a chaos soak with an injected server crash exits 1 on defaults and 2
+  under a tightened SLO that names the failing check.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.health import (
+    CHECKS,
+    CheckContext,
+    Status,
+    load_slo_file,
+    resolve_slo,
+    run_health,
+)
+from repro.health.sinks import render_json, render_otel, render_stdout
+from repro.telemetry.registry import Registry
+
+
+# ------------------------------------------------------------ test harness
+def synth(scalars=None, labeled=None, latency=None) -> Registry:
+    """A registry with the given values and no cluster behind it.
+
+    ``scalars`` maps metric name -> value (unlabeled gauge); ``labeled``
+    maps name -> {label_key: {label_value: value}} flattened as
+    ``name -> [(labels_dict, value), ...]``; ``latency`` maps verb ->
+    list of microsecond samples.
+    """
+    reg = Registry()
+    for name, value in (scalars or {}).items():
+        reg.attach(name, lambda v=value: float(v))
+    for name, entries in (labeled or {}).items():
+        for labels, value in entries:
+            reg.attach(name, lambda v=value: float(v), **labels)
+    if latency:
+        hist = reg.histogram("nfs_client_latency_us", "", ("mount", "verb"))
+        for verb, samples in latency.items():
+            for s in samples:
+                hist.observe(s, mount="c0", verb=verb)
+    return reg
+
+
+def grade(check: str, registry: Registry, slo_data=None, experiment="figX",
+          **ctx_kwargs) -> object:
+    slo = resolve_slo(slo_data, experiment)
+    ctx = CheckContext(registry=registry, slo=slo, experiment=experiment,
+                       **ctx_kwargs)
+    return CHECKS[check](ctx)
+
+
+# ------------------------------------------------------------ SLO layering
+def test_slo_defaults_resolve():
+    slo = resolve_slo(None, "fig5")
+    assert slo.get("srq", "low_watermark_hits_warn") == 1
+    assert slo.get("latency", "p99_crit_us") is None
+    assert slo.source == "defaults"
+
+
+def test_slo_file_layers_and_figure_overrides():
+    data = {
+        "checks": {"credits": {"stall_rate_warn": 0.5},
+                   "latency": {"p99_warn_us": 1000.0}},
+        "figures": {"fig11": {"checks": {"credits": {"stall_rate_warn": 0.9}}}},
+    }
+    base = resolve_slo(data, "fig5")
+    assert base.get("credits", "stall_rate_warn") == 0.5
+    assert base.get("latency", "p99_warn_us") == 1000.0
+    # Untouched defaults survive the merge.
+    assert base.get("faults", "retransmit_rate_crit") == 0.75
+    fig11 = resolve_slo(data, "fig11")
+    assert fig11.get("credits", "stall_rate_warn") == 0.9
+    assert fig11.get("latency", "p99_warn_us") == 1000.0
+
+
+def test_slo_per_verb_latency_override():
+    data = {"checks": {"latency": {
+        "p99_warn_us": 5000.0,
+        "verbs": {"COMMIT": {"p99_warn_us": 100.0}},
+    }}}
+    slo = resolve_slo(data, "fig5")
+    assert slo.verb("COMMIT", "p99_warn_us") == 100.0
+    assert slo.verb("READ", "p99_warn_us") == 5000.0
+
+
+def test_slo_file_toml_and_json(tmp_path):
+    toml = tmp_path / "s.toml"
+    toml.write_text('[checks.credits]\nstall_rate_warn = 0.125\n')
+    assert load_slo_file(str(toml))["checks"]["credits"][
+        "stall_rate_warn"] == 0.125
+    js = tmp_path / "s.json"
+    js.write_text(json.dumps(
+        {"checks": {"credits": {"stall_rate_warn": 0.25}}}))
+    assert load_slo_file(str(js))["checks"]["credits"][
+        "stall_rate_warn"] == 0.25
+
+
+def test_committed_quick_slo_parses():
+    slo = resolve_slo(load_slo_file("slo/quick.toml"), "fig11",
+                      source="slo/quick.toml")
+    assert slo.verb("COMMIT", "p99_crit_us") == 50_000.0
+    assert slo.get("dispatcher", "queue_peak_warn_frac") == 1.1
+    # fig5 keeps the default dispatcher threshold.
+    fig5 = resolve_slo(load_slo_file("slo/quick.toml"), "fig5")
+    assert fig5.get("dispatcher", "queue_peak_warn_frac") == 0.8
+
+
+# ------------------------------------------------------ per-check grading
+def _hca_reg(hcas=2, qp_errors=0.0, rnr=0.0):
+    return synth(
+        scalars={"hca_qps_error": qp_errors, "hca_rnr_events": rnr},
+        labeled={"hca_qps": [({"node": f"n{i}"}, 2.0) for i in range(hcas)]})
+
+
+def test_check_hca_ok_warn_critical():
+    assert grade("hca", _hca_reg(), nodes=2).status is Status.OK
+    r = grade("hca", _hca_reg(qp_errors=1.0), nodes=2)
+    assert r.status is Status.WARN
+    assert r.evidence["qp_errors"] == 1.0
+    missing = grade("hca", _hca_reg(hcas=1), nodes=2)
+    assert missing.status is Status.CRITICAL
+    assert "expected 2" in missing.message
+    crit = grade("hca", _hca_reg(qp_errors=3.0),
+                 slo_data={"checks": {"hca": {"qp_errors_crit": 3}}},
+                 nodes=2)
+    assert crit.status is Status.CRITICAL
+
+
+def _srq_reg(min_avail=10.0, wm_hits=0.0, exhaustions=0.0):
+    return synth(scalars={
+        "srq_entries": 64.0, "srq_available": 60.0,
+        "srq_min_available": min_avail, "srq_low_watermark": 8.0,
+        "srq_low_watermark_hits": wm_hits, "srq_exhaustions": exhaustions,
+        "srq_takes": 100.0, "srq_recycles": 100.0,
+        "srq_registered_bytes": 65536.0})
+
+
+def test_check_srq_ok_warn_critical():
+    assert grade("srq", synth()).status is Status.OK       # not configured
+    assert grade("srq", _srq_reg()).status is Status.OK
+    assert grade("srq", _srq_reg(wm_hits=1.0)).status is Status.WARN
+    assert grade("srq", _srq_reg(exhaustions=2.0)).status is Status.WARN
+    assert grade("srq", _srq_reg(min_avail=0.0)).status is Status.CRITICAL
+    crit = grade("srq", _srq_reg(exhaustions=5.0),
+                 slo_data={"checks": {"srq": {"exhaustions_crit": 5}}})
+    assert crit.status is Status.CRITICAL
+
+
+def _credit_reg(waits, calls=100.0):
+    return synth(scalars={"rpc_calls_sent": calls},
+                 labeled={"rpc_credit_waits": [({"mount": "c0"}, waits)]})
+
+
+def test_check_credits_boundaries():
+    assert grade("credits", _credit_reg(0.0)).status is Status.OK
+    assert grade("credits", _credit_reg(24.0)).status is Status.OK  # 24% < 25%
+    assert grade("credits", _credit_reg(25.0)).status is Status.WARN
+    crit = grade("credits", _credit_reg(60.0),
+                 slo_data={"checks": {"credits": {"stall_rate_crit": 0.5}}})
+    assert crit.status is Status.CRITICAL
+
+
+def test_check_drc_missing_and_coverage():
+    # No DRC, no retransmits: fine.
+    assert grade("drc", synth()).status is Status.OK
+    # Retransmits with no DRC: WARN by default, CRITICAL if configured.
+    missing = grade("drc", synth(scalars={"rpc_retransmits": 3.0}))
+    assert missing.status is Status.WARN
+    crit = grade("drc", synth(scalars={"rpc_retransmits": 3.0}),
+                 slo_data={"checks": {"drc": {
+                     "missing_with_retransmits": "CRITICAL"}}})
+    assert crit.status is Status.CRITICAL
+    # Coverage floor: 1 hit over 10 retransmits < 50%.
+    low = grade("drc", synth(scalars={
+        "rpc_retransmits": 10.0, "drc_inserts": 50.0,
+        "drc_replays": 1.0, "drc_drops": 0.0}),
+        slo_data={"checks": {"drc": {"min_hit_rate": 0.5}}})
+    assert low.status is Status.WARN
+    assert low.evidence["hit_rate"] == pytest.approx(0.1)
+
+
+def test_check_registration_fmr_and_faults():
+    ok = grade("registration", synth(scalars={"fmr_maps": 1000.0}))
+    assert ok.status is Status.OK
+    warn = grade("registration", synth(scalars={
+        "fmr_maps": 1000.0, "fmr_fallbacks": 10.0}))     # 1% >= 1%
+    assert warn.status is Status.WARN
+    crit = grade("registration", synth(scalars={
+        "fmr_maps": 100.0, "fmr_fallbacks": 25.0}))      # 25% >= 25%
+    assert crit.status is Status.CRITICAL
+    faults = grade("registration",
+                   synth(scalars={"tpt_protection_faults": 1.0}))
+    assert faults.status is Status.WARN
+    cache = grade("registration", synth(scalars={
+        "regcache_hits": 10.0, "regcache_misses": 90.0}),
+        slo_data={"checks": {"registration": {
+            "regcache_min_hit_rate": 0.5}}})
+    assert cache.status is Status.WARN
+
+
+def test_check_dispatcher_peak_waits_failures():
+    ok = grade("dispatcher", synth(scalars={"rpc_queue_peak": 10.0}),
+               queue_depth=64)
+    assert ok.status is Status.OK
+    hot = grade("dispatcher", synth(scalars={"rpc_queue_peak": 52.0}),
+                queue_depth=64)                          # 52 >= 0.8*64
+    assert hot.status is Status.WARN
+    # Unbounded queue: the frac rule is inert.
+    unbounded = grade("dispatcher", synth(scalars={"rpc_queue_peak": 999.0}))
+    assert unbounded.status is Status.OK
+    waits = grade("dispatcher", synth(scalars={"rpc_queue_waits": 1.0}))
+    assert waits.status is Status.WARN
+    failed = grade("dispatcher", synth(scalars={"rpc_server_failed": 1.0}))
+    assert failed.status is Status.CRITICAL
+
+
+def test_check_latency_per_verb_grading():
+    reg = synth(latency={"READ": [100.0, 200.0], "COMMIT": [20.0]})
+    assert grade("latency", reg).status is Status.OK     # no limits set
+    warn = grade("latency", reg, slo_data={"checks": {"latency": {
+        "p99_warn_us": 150.0}}})
+    assert warn.status is Status.WARN
+    assert "READ" in warn.message
+    # Per-verb override exempts COMMIT's tight base limit.
+    mixed = grade("latency", reg, slo_data={"checks": {"latency": {
+        "p99_warn_us": 10.0,
+        "verbs": {"READ": {"p99_warn_us": 1000.0},
+                  "COMMIT": {"p99_warn_us": 1000.0}}}}})
+    assert mixed.status is Status.OK
+    crit = grade("latency", reg, slo_data={"checks": {"latency": {
+        "p99_crit_us": 150.0}}})
+    assert crit.status is Status.CRITICAL
+
+
+def test_check_security_escalations():
+    assert grade("security", synth()).status is Status.OK  # not configured
+    base = {"security_naks": 5.0}
+    assert grade("security", synth(scalars=base)).status is Status.OK
+    warned = grade("security", synth(scalars={**base,
+                                              "security_warnings": 1.0}))
+    assert warned.status is Status.WARN
+    quarantined = grade("security", synth(scalars={
+        **base, "security_quarantined_mounts": 1.0}),
+        slo_data={"checks": {"security": {"quarantined_crit": 1}}})
+    assert quarantined.status is Status.CRITICAL
+    exposure = grade("security", synth(scalars={
+        **base, "security_exposure_bytes": 1 << 20}),
+        slo_data={"checks": {"security": {"exposure_bytes_warn": 1 << 20}}})
+    assert exposure.status is Status.WARN
+
+
+def test_check_faults_redials_and_storms():
+    assert grade("faults", synth()).status is Status.OK
+    redial = grade("faults", synth(scalars={"rpc_reconnects": 1.0}))
+    assert redial.status is Status.WARN
+    storm = grade("faults", synth(scalars={
+        "rpc_calls_sent": 100.0, "rpc_retransmits": 80.0}))
+    assert storm.status is Status.CRITICAL               # 80% >= 75%
+    mild = grade("faults", synth(scalars={
+        "rpc_calls_sent": 100.0, "rpc_retransmits": 5.0}))
+    assert mild.status is Status.WARN                    # 5% >= 5%
+    crash = grade("faults", synth(scalars={"faults_server_crashes": 1.0}))
+    assert crash.status is Status.WARN
+
+
+# ---------------------------------------------------- registry gauge wiring
+def test_new_health_gauges_attach_on_real_cluster():
+    """The gauges the checks read exist on a telemetry-enabled cluster."""
+    from repro.experiments import Cluster, ClusterConfig
+    from repro.workloads import IozoneParams, run_iozone
+
+    c = Cluster(ClusterConfig(transport="rdma-rw", srq=True, nclients=2,
+                              seed=2007, telemetry=True))
+    run_iozone(c, IozoneParams(nthreads=2, ops_per_thread=4))
+    reg = c.telemetry.registry
+    for name in ("srq_recycles", "srq_low_watermark",
+                 "srq_low_watermark_hits", "srq_reclaimed_on_detach",
+                 "rpc_credit_waits", "rpc_credit_outstanding_peak",
+                 "hca_qps", "hca_qps_error"):
+        assert reg.get(name) is not None, name
+    qps = {labels["node"]: child.value
+           for labels, child in reg.get("hca_qps").items()}
+    assert len(qps) == 3 and all(v >= 1 for v in qps.values())
+    assert sum(ch.value for _, ch in reg.get("srq_recycles").items()) > 0
+    # Peak concurrency was recorded on every mount.
+    peaks = [ch.value for _, ch in
+             reg.get("rpc_credit_outstanding_peak").items()]
+    assert len(peaks) == 2 and all(p >= 1 for p in peaks)
+
+
+# ------------------------------------------------------------- end to end
+def test_run_health_fig5_point_ok_and_sinks():
+    report = run_health("fig5", scale="quick", slo_path="slo/quick.toml",
+                        point=0)
+    assert report.exit_code == 0
+    assert len(report.points) == 1
+    assert {r.check for r in report.points[0].results} == set(CHECKS)
+
+    text = render_stdout(report)
+    assert "fig5/quick: OK" in text
+    payload = json.loads(render_json(report))
+    assert payload["exit_code"] == 0
+    assert payload["slo_source"] == "slo/quick.toml"
+    point = payload["points"][0]
+    # The JSON sink embeds the full stats_dict registry dump.
+    assert "READ" in point["stats"]["verbs"]
+    assert any(s["name"] == "rpc_calls_sent" for s in
+               point["stats"]["samples"])
+    otel = render_otel(report)
+    assert "repro.health.status{" in otel
+    # Simulated timestamps only: every line ends with the point's sim_us.
+    assert all(line.split()[-1].isdigit()
+               for line in otel.strip().splitlines())
+
+
+def test_run_health_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_health("fig99")
+
+
+def test_chaos_crash_gates(tmp_path):
+    # Defaults: an injected crash plus chaos-killed QPs is at least WARN.
+    report = run_health("chaos", scale="quick", crashes=1)
+    assert report.exit_code >= 1
+    failing = {r.check for _, r in report.failing()}
+    assert "faults" in failing
+    # Soak invariants still held and ride along as their own verdict.
+    soak = [r for r in report.points[0].results if r.check == "soak"]
+    assert soak and soak[0].status is Status.OK
+
+    # Tightened SLO: the same crash count is CRITICAL, exit 2, and the
+    # report names the failing check.
+    slo = tmp_path / "tight.json"
+    slo.write_text(json.dumps(
+        {"checks": {"faults": {"crashes_crit": 1}}}))
+    strict = run_health("chaos", scale="quick", crashes=1,
+                        slo_path=str(slo))
+    assert strict.exit_code == 2
+    names = {r.check for _, r in strict.failing()
+             if r.status is Status.CRITICAL}
+    assert "faults" in names
+    assert "crash-restarts" in render_stdout(strict)

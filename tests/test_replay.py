@@ -1,0 +1,192 @@
+"""Trace-driven replay tests: recording, compaction, determinism, CLI.
+
+Covers the PR's acceptance criteria:
+
+* a traced run records into a compact :class:`OpTrace` whose mix and
+  size/offset distributions reflect the source workload;
+* the JSON form round-trips losslessly and rejects foreign formats;
+* distribution compaction is deterministic and bounded;
+* the same trace replayed twice produces bit-identical result tables,
+  and unknown verbs are dropped (reported, not crashed on);
+* ``python -m repro stats --json`` emits the machine-readable nfsstat
+  dump and round-trips through ``json.loads`` (satellite of the health
+  JSON sink, which embeds the same ``stats_dict``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import Cluster, ClusterConfig
+from repro.workloads import (
+    OltpParams,
+    OpTrace,
+    ReplayParams,
+    record_trace,
+    run_oltp,
+    run_replay,
+)
+from repro.workloads.replay import MAX_DIST_POINTS, _compress, _draw
+
+
+def traced_cluster(**kwargs):
+    kwargs.setdefault("telemetry", True)
+    kwargs.setdefault("transport", "rdma-rw")
+    kwargs.setdefault("seed", 2007)
+    return Cluster(ClusterConfig(**kwargs))
+
+
+def small_oltp_trace():
+    c = traced_cluster(nclients=1)
+    run_oltp(c, OltpParams(readers=4, writers=2, ops_per_thread=5,
+                           datafile_bytes=2 << 20))
+    return record_trace(c.telemetry.tracer, source="oltp test")
+
+
+# --------------------------------------------------------------- recording
+def test_record_trace_mix_and_dists():
+    trace = small_oltp_trace()
+    # The OLTP personality is reads + writes + the two setup CREATEs.
+    assert trace.mix["READ"] == 20
+    assert trace.mix["WRITE"] >= 15
+    assert trace.mix["CREATE"] == 2
+    assert trace.ops_total == sum(trace.mix.values())
+    # READ/WRITE carry offset and count distributions from span args.
+    for verb in ("READ", "WRITE"):
+        dists = trace.dists[verb]
+        assert sum(c for _, c in dists["count"]) == trace.mix[verb]
+        assert all(v >= 0 for v, _ in dists["offset"])
+    # Metadata verbs carry no distributions.
+    assert "CREATE" not in trace.dists
+
+
+def test_record_trace_empty_tracer():
+    c = traced_cluster(nclients=1)
+    trace = record_trace(c.telemetry.tracer)
+    assert trace.ops_total == 0
+    assert trace.mix == {}
+
+
+# ------------------------------------------------------------- persistence
+def test_optrace_json_roundtrip(tmp_path):
+    trace = small_oltp_trace()
+    path = tmp_path / "trace.json"
+    trace.save(str(path))
+    loaded = OpTrace.load(str(path))
+    assert loaded.mix == trace.mix
+    assert loaded.dists == trace.dists
+    assert loaded.to_json() == trace.to_json()
+    # The compact form stays compact regardless of source run length.
+    assert path.stat().st_size < 8192
+
+
+def test_optrace_rejects_foreign_format():
+    with pytest.raises(ValueError, match="not a repro-optrace"):
+        OpTrace.from_json(json.dumps({"format": "something-else"}))
+
+
+# --------------------------------------------------------------- compaction
+def test_compress_exact_when_small():
+    assert _compress([4096, 4096, 8192]) == [[4096, 2], [8192, 1]]
+
+
+def test_compress_quantizes_long_tails():
+    values = list(range(0, 100 * 4096, 4096))     # 100 distinct values
+    out = _compress(values)
+    assert len(out) == MAX_DIST_POINTS
+    assert sum(c for _, c in out) == len(values)  # mass preserved
+    assert out == _compress(values)               # deterministic
+    assert [v for v, _ in out] == sorted(v for v, _ in out)
+
+
+def test_draw_is_weighted_and_deterministic():
+    from repro.sim import DeterministicRNG
+
+    dist = [[10, 1], [20, 999]]
+    rng = DeterministicRNG(7, "draw-test")
+    draws = [_draw(rng, dist) for _ in range(50)]
+    assert draws.count(20) > 40
+    rng2 = DeterministicRNG(7, "draw-test")
+    assert draws == [_draw(rng2, dist) for _ in range(50)]
+
+
+# ------------------------------------------------------------------ replay
+def test_replay_deterministic_tables():
+    trace = small_oltp_trace()
+
+    def once():
+        c = Cluster(ClusterConfig(transport="rdma-rw", nclients=2,
+                                  seed=2007))
+        return run_replay(c, trace,
+                          ReplayParams(ops_per_thread=15, nthreads=2,
+                                       seed=11)).as_dict()
+
+    first, second = once(), once()
+    assert first == second                       # bit-identical tables
+    assert first["ops_total"] == 30
+    assert set(first["verb_counts"]) <= {"READ", "WRITE", "CREATE"}
+    assert first["latency_us"]["count"] == 30
+
+
+def test_replay_defaults_to_trace_length():
+    trace = small_oltp_trace()
+    c = Cluster(ClusterConfig(transport="rdma-rw", nclients=1, seed=2007))
+    result = run_replay(c, trace, ReplayParams(nthreads=2, seed=3))
+    # None ops_per_thread → the trace's own op count split over threads.
+    assert result.ops_total == 2 * max(1, trace.ops_total // 2)
+
+
+def test_replay_skips_unknown_verbs():
+    trace = OpTrace(mix={"READ": 5, "FNORD": 3},
+                    dists={"READ": {"offset": [[0, 5]],
+                                    "count": [[4096, 5]]}},
+                    ops_total=8)
+    c = Cluster(ClusterConfig(transport="rdma-rw", nclients=1, seed=2007))
+    result = run_replay(c, trace, ReplayParams(ops_per_thread=5))
+    assert result.skipped_verbs == {"FNORD": 3}
+    assert result.verb_counts == {"READ": 5}
+
+
+def test_replay_rejects_empty_trace():
+    c = Cluster(ClusterConfig(transport="rdma-rw", nclients=1, seed=2007))
+    with pytest.raises(ValueError, match="no replayable"):
+        run_replay(c, OpTrace(), ReplayParams())
+
+
+def test_replay_runs_on_tcp_transport():
+    # A recorded trace is a portable scenario: same trace, other stack.
+    trace = small_oltp_trace()
+    c = Cluster(ClusterConfig(transport="tcp-ipoib", nclients=1, seed=2007))
+    result = run_replay(c, trace, ReplayParams(ops_per_thread=10, seed=5))
+    assert result.ops_total == 10
+    assert result.bytes_read + result.bytes_written > 0
+
+
+# ------------------------------------------------------------- stats --json
+def test_cli_stats_json_roundtrip(capsys):
+    from repro.__main__ import main
+
+    assert main(["stats", "--figure", "fig5", "--quick", "--point", "0",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)   # valid JSON end to end
+    assert payload["figure"] == "fig5"
+    assert payload["label"]
+    read = payload["verbs"]["READ"]
+    assert read["client_ops"] == read["server_ops"] > 0
+    assert read["latency_us"]["p50"] <= read["latency_us"]["p99"]
+    names = {s["name"] for s in payload["samples"]}
+    assert {"rpc_calls_sent", "hca_qps", "nfs_client_ops"} <= names
+    # Lossless round trip.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_cli_stats_text_unchanged(capsys):
+    from repro.__main__ import main
+
+    assert main(["stats", "--figure", "fig5", "--quick", "--point", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "NFS per-verb operations:" in out
+    assert "credit waits" in out
+    assert "low-watermark" not in out    # fig5 point 0 has no SRQ
