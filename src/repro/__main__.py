@@ -80,7 +80,8 @@ def cmd_run(args) -> int:
 
 #: The figures benchmarked by ``python -m repro bench`` (satellite of
 #: DESIGN.md §8): each produces BENCH_<name>.json next to --output-dir.
-BENCH_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+BENCH_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                 "fig12", "fig13")
 
 #: BENCH_*.json schema.  v1 (unversioned): events_stepped.  v2: adds
 #: schema_version, events, core; tools/bench_gate.py reads both.
@@ -362,7 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_point_args(p):
         p.add_argument("--figure",
                        choices=("fig5", "fig6", "fig7", "fig8", "fig9",
-                                "fig10", "fig11", "fig12"),
+                                "fig10", "fig11", "fig12", "fig13"),
                        default="fig5")
         p.add_argument("--scale", choices=("quick", "full"), default="quick")
         p.add_argument("--quick", action="store_true",

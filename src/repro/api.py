@@ -12,7 +12,13 @@ here instead of reaching into internal modules::
 Three layers:
 
 * :class:`ClusterConfig` + its builders (``rdma_rw``/``rdma_rr``/
-  ``tcp``) describe a deployment; :func:`connect` wires it.
+  ``tcp``) describe a *single-server* deployment — the paper's testbed
+  shape — and stay the one-node sugar.  :class:`TopologyConfig` is the
+  scale-out form: ``TopologyConfig(servers=K, data_servers=M,
+  mux=MuxConfig(), ...)`` shards mounts across K server nodes (placed
+  by the build-time mount redirector), stripes file data across M data
+  servers, and multiplexes mounts onto shared QPs.  :func:`connect`
+  accepts either and wires it.
 * :class:`Deployment` owns the simulated cluster; each
   :class:`MountHandle` exposes the NFSv3 verbs *synchronously* — every
   call steps the simulator until the reply arrives, so callers never
@@ -32,6 +38,12 @@ from typing import Optional
 from repro.errors import NfsStatusError, PoolExhausted, ReproError, TransportError
 from repro.experiments.cluster import Cluster, ClusterConfig, default_srq_entries
 from repro.experiments.registry import EXPERIMENTS, run as run_experiment
+from repro.experiments.topology import (
+    TOPOLOGY_KEYS,
+    MultiCluster,
+    TopologyConfig,
+)
+from repro.ib.mux import MuxConfig, default_mux_qps
 from repro.workloads import (
     IozoneParams,
     OltpParams,
@@ -48,13 +60,17 @@ __all__ = [
     "EXPERIMENTS",
     "IozoneParams",
     "MountHandle",
+    "MultiCluster",
+    "MuxConfig",
     "NfsStatusError",
     "OltpParams",
     "PoolExhausted",
     "PostmarkParams",
     "ReproError",
+    "TopologyConfig",
     "TransportError",
     "connect",
+    "default_mux_qps",
     "default_srq_entries",
     "run_experiment",
     "run_iozone",
@@ -120,17 +136,52 @@ class MountHandle:
 
 
 class Deployment:
-    """A wired simulated NFS deployment: cluster + synchronous mounts."""
+    """A wired simulated NFS deployment: cluster + synchronous mounts.
 
-    def __init__(self, config: Optional[ClusterConfig] = None, **kwargs) -> None:
+    Accepts either deployment description:
+
+    * :class:`ClusterConfig` (or its field kwargs) — the historical
+      single-server surface, wired as a :class:`Cluster`;
+    * :class:`TopologyConfig` (or kwargs containing any topology field:
+      ``servers``, ``data_servers``, ``mux``, ``client_hosts``,
+      ``stripe_unit_bytes``, ``credits``) — wired as a
+      :class:`~repro.experiments.topology.MultiCluster`, with mounts
+      placed across server shards by the build-time redirector.
+    """
+
+    def __init__(self, config=None, **kwargs) -> None:
         if config is not None and kwargs:
-            raise ValueError("pass a ClusterConfig or field kwargs, not both")
-        self.cluster = Cluster(config or ClusterConfig(**kwargs))
+            raise ValueError("pass a config object or field kwargs, not both")
+        if config is None and any(k in kwargs for k in TOPOLOGY_KEYS):
+            config = TopologyConfig(**kwargs)
+        elif config is None:
+            config = ClusterConfig(**kwargs)
+        if isinstance(config, TopologyConfig):
+            self.cluster = MultiCluster(config)
+        elif isinstance(config, ClusterConfig):
+            self.cluster = Cluster(config)
+        else:
+            raise TypeError(
+                f"expected ClusterConfig or TopologyConfig, got "
+                f"{type(config).__name__}")
         self.mounts = [MountHandle(self.cluster, m) for m in self.cluster.mounts]
 
     def mount(self, index: int = 0) -> MountHandle:
-        """The ``index``-th client's mount handle."""
+        """The ``index``-th client's mount handle.
+
+        On a sharded deployment the mount was already steered to its
+        server node by the redirector at build time; ``shard_of`` tells
+        you where it landed.
+        """
         return self.mounts[index]
+
+    def shard_of(self, index: int = 0) -> int:
+        """Which server shard holds mount ``index`` (0 on single-node)."""
+        redirector = getattr(self.cluster, "redirector", None)
+        if redirector is None:
+            return 0
+        placed = redirector.index_of(index)
+        return 0 if placed is None else placed
 
     def run(self, generator):
         """Escape hatch: run a multi-verb generator script atomically."""
@@ -142,13 +193,20 @@ class Deployment:
 
     @property
     def config(self) -> ClusterConfig:
+        """The single-node knobs (the base config on a MultiCluster)."""
         return self.cluster.config
 
+    @property
+    def topology(self) -> Optional[TopologyConfig]:
+        """The scale-out description, or ``None`` on a single-node wire."""
+        return getattr(self.cluster, "topology", None)
 
-def connect(config: Optional[ClusterConfig] = None, **kwargs) -> Deployment:
+
+def connect(config=None, **kwargs) -> Deployment:
     """Build and wire a deployment — the one-line entry point.
 
     Accepts a prebuilt :class:`ClusterConfig` (e.g. from the
-    ``rdma_rw``/``tcp`` builders) or the config's field kwargs directly.
+    ``rdma_rw``/``tcp`` builders), a :class:`TopologyConfig` for
+    multi-node serving, or either config's field kwargs directly.
     """
     return Deployment(config, **kwargs)

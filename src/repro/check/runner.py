@@ -34,7 +34,7 @@ __all__ = ["CHECK_FIGURES", "CheckReport", "FigureCheck", "run_check"]
 #: NAK storms, quarantine evictions, lease reclaims — is as schedule-
 #: deterministic as the benign figures.
 CHECK_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-                 "fig12")
+                 "fig12", "fig13")
 
 
 @dataclass

@@ -368,14 +368,34 @@ class Sanitizer:
         """Buffers still pinned/registered once a cluster is quiescent."""
         leaks: list[str] = []
         strategies: list[tuple[str, object]] = []
-        server_strategy = getattr(cluster, "server_strategy", None)
-        if server_strategy is not None:
-            strategies.append(("server", server_strategy))
+        stacks = getattr(cluster, "all_stacks", None)
+        if stacks is not None:
+            # Sharded deployment: every server/data-server stack has its
+            # own strategy; auditing only the first would hide leaks.
+            for stack in stacks:
+                strategies.append((stack.name, stack.strategy))
+        else:
+            server_strategy = getattr(cluster, "server_strategy", None)
+            if server_strategy is not None:
+                strategies.append(("server", server_strategy))
+        for mux in (getattr(cluster, "muxes", None) or {}).values():
+            for channel in mux.channels:
+                strategies.append((channel.name, channel.strategy))
         for mount in getattr(cluster, "mounts", None) or []:
             strategy = getattr(mount.transport, "strategy", None)
             if strategy is not None:
                 strategies.append((mount.node.name, strategy))
+            # Striped mounts carry extra per-data-server transports.
+            for dclient in getattr(mount.nfs, "data", None) or []:
+                strategy = getattr(dclient.transport, "strategy", None)
+                if strategy is not None:
+                    strategies.append((dclient.name, strategy))
+        seen: set[int] = set()
         for label, strategy in strategies:
+            # Mux lanes share their channel's strategy — audit each once.
+            if id(strategy) in seen:
+                continue
+            seen.add(id(strategy))
             held = strategy.acquires.events - strategy.releases.events
             if held > 0:
                 leaks.append(

@@ -42,6 +42,7 @@ from repro.ib.verbs import (
     Segment,
     SendWR,
 )
+from repro.rpc.lanes import LaneLedger
 from repro.rpc.msg import RpcCall, RpcReply, frame_message, unframe_message
 from repro.rpc.svc import RpcServer
 from repro.rpc.transport import RpcClientTransport, RpcServerTransport, RpcTimeout
@@ -372,6 +373,10 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
         self._epoch = 0
         self._reconnect_done: Optional[Event] = None
         self._jitter_rng = node.rng.child(name, "backoff")
+        #: mux hook: called with every lane-tagged reply header so the
+        #: :class:`repro.ib.mux.QpMux` can refresh per-lane grants.
+        #: None on dedicated connections — zero work on that path.
+        self.lane_hook = None
         self.ready = self.sim.process(self._setup_pools(), name=f"{name}.setup")
         self._recv_fifo: deque = deque()
         self.sim.process(self._receiver(), name=f"{name}.rx")
@@ -558,6 +563,8 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
             mtype=MessageType.RDMA_MSG,
             chunks=chunks,
             rpc_message=message,
+            lane=call.lane,
+            lane_seq=call.lane_seq,
         )
         if header.wire_size > self.config.inline_threshold:
             # RPC long call: body moves as position-0 read chunks.
@@ -575,6 +582,8 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
                 mtype=MessageType.RDMA_NOMSG,
                 chunks=chunks,
                 rpc_message=b"",
+                lane=call.lane,
+                lane_seq=call.lane_seq,
             )
         return header
 
@@ -640,6 +649,8 @@ class RpcRdmaClientBase(_RdmaEndpoint, RpcClientTransport):
             ctx = self._contexts.get(header.xid)
             if ctx is not None:
                 ctx["new_grant"] = header.credits
+            if header.lane is not None and self.lane_hook is not None:
+                self.lane_hook(header)
             waiter.succeed(header)
 
     def _flush_waiters(self) -> None:
@@ -672,6 +683,9 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
         #: None keeps every hardening hook off the hot path.
         self.policy = policy
         self.malformed_received = Counter(f"{name}.malformed")
+        #: per-lane ledger, created lazily on the first version-2 call;
+        #: stays None (zero cost) on dedicated connections.
+        self.lanes: Optional[LaneLedger] = None
         self.ready = self.sim.process(self._setup_pools(), name=f"{name}.setup")
 
     @property
@@ -797,6 +811,10 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
             if penalty > 0:
                 yield self.sim.timeout(penalty)
         yield from self.node.cpu.consume(self.config.per_op_cpu_us)
+        if header.lane is not None:
+            if self.lanes is None:
+                self.lanes = LaneLedger(f"{self.name}.lanes")
+            self.lanes.on_call(header.lane, header.lane_seq)
         ctx: dict = {"regions": [], "header": header}
         # 1. Obtain the RPC message (inline or long call).
         if header.mtype is MessageType.RDMA_NOMSG:
@@ -863,10 +881,22 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
                 if tracer is not None:
                     tracer.pop_task(prev)
                     span.end()
+                lane = ctx["header"].lane
+                if lane is not None and self.lanes is not None:
+                    self.lanes.on_reply(lane)
                 for region in ctx["regions"]:
                     yield from self.strategy.release(region)
 
         return respond
+
+    def _lane_reply_fields(self, ctx: dict) -> dict:
+        """Version-2 header fields echoing the call's lane; empty for
+        dedicated connections, which keeps replies at wire version 1."""
+        lane = ctx["header"].lane
+        if lane is None or self.lanes is None:
+            return {}
+        return {"lane": lane, "lane_seq": ctx["header"].lane_seq,
+                "lane_credits": self.lanes.grant_for(lane, self.grant())}
 
     def _respond(self, ctx: dict, reply: RpcReply) -> Generator:
         raise NotImplementedError

@@ -6,18 +6,30 @@ message proper.  ``RDMA_NOMSG`` means the RPC message body travels as
 read chunks (the long call / long reply); ``RDMA_DONE`` is the
 Read-Read design's completion signal that lets the server release its
 exposed buffers.
+
+Version 2 is the QP-multiplexing extension (DESIGN.md §15): when many
+mounts share one connection, each call carries its virtual *lane* id
+(the mount's identity on the shared QP), a per-lane sequence number for
+FIFO auditing, and — on replies — a per-lane credit grant carved out of
+the connection's window.  Version 2 words are written only when
+``lane`` is set, so non-muxed traffic stays byte-for-byte version 1.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
+
 from repro.core.chunks import ChunkList
 from repro.rpc.xdr import XdrDecoder, XdrEncoder, XdrError
 
-__all__ = ["MessageType", "RpcRdmaHeader", "RPC_RDMA_VERSION"]
+__all__ = ["MessageType", "RpcRdmaHeader", "RPC_RDMA_VERSION",
+           "RPC_RDMA_VERSION_MUX"]
 
 RPC_RDMA_VERSION = 1
+#: version advertised by connections carrying multiplexed lanes.
+RPC_RDMA_VERSION_MUX = 2
 
 
 class MessageType(enum.IntEnum):
@@ -36,13 +48,25 @@ class RpcRdmaHeader:
     mtype: MessageType
     chunks: ChunkList = field(default_factory=ChunkList)
     rpc_message: bytes = b""
+    #: virtual lane (mount id) on a shared QP; ``None`` on dedicated
+    #: connections, which keeps the wire encoding at version 1.
+    lane: Optional[int] = None
+    #: per-lane send sequence number (FIFO audit, version 2 only).
+    lane_seq: int = 0
+    #: per-lane credit grant on replies (version 2 only); 0 on calls.
+    lane_credits: int = 0
 
     def encode(self) -> bytes:
         enc = XdrEncoder()
         enc.u32(self.xid)
-        enc.u32(RPC_RDMA_VERSION)
+        enc.u32(RPC_RDMA_VERSION_MUX if self.lane is not None
+                else RPC_RDMA_VERSION)
         enc.u32(self.credits)
         enc.u32(int(self.mtype))
+        if self.lane is not None:
+            enc.u32(self.lane)
+            enc.u32(self.lane_seq)
+            enc.u32(self.lane_credits)
         self.chunks.encode(enc)
         if self.mtype in (MessageType.RDMA_MSG, MessageType.RDMA_MSGP):
             enc.opaque(self.rpc_message)
@@ -53,19 +77,25 @@ class RpcRdmaHeader:
         dec = XdrDecoder(data)
         xid = dec.u32()
         version = dec.u32()
-        if version != RPC_RDMA_VERSION:
+        if version not in (RPC_RDMA_VERSION, RPC_RDMA_VERSION_MUX):
             raise XdrError(f"unsupported RPC/RDMA version {version}")
         credits = dec.u32()
         try:
             mtype = MessageType(dec.u32())
         except ValueError as exc:
             raise XdrError(str(exc)) from None
+        lane = lane_seq = lane_credits = None
+        if version == RPC_RDMA_VERSION_MUX:
+            lane = dec.u32()
+            lane_seq = dec.u32()
+            lane_credits = dec.u32()
         chunks = ChunkList.decode(dec)
         message = b""
         if mtype in (MessageType.RDMA_MSG, MessageType.RDMA_MSGP):
             message = dec.opaque()
         return cls(xid=xid, credits=credits, mtype=mtype, chunks=chunks,
-                   rpc_message=message)
+                   rpc_message=message, lane=lane,
+                   lane_seq=lane_seq or 0, lane_credits=lane_credits or 0)
 
     @property
     def wire_size(self) -> int:

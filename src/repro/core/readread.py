@@ -185,12 +185,14 @@ class ReadReadServer(RpcRdmaServerBase):
                 )
 
         message = frame_message(reply_bytes, inline_payload)
+        lane_fields = self._lane_reply_fields(ctx)
         header = RpcRdmaHeader(
             xid=reply.xid,
             credits=self.grant(),
             mtype=MessageType.RDMA_MSG,
             chunks=reply_chunks,
             rpc_message=message,
+            **lane_fields,
         )
         if header.wire_size > self.config.inline_threshold:
             # RPC long reply, Read-Read style: expose the message itself.
@@ -208,6 +210,7 @@ class ReadReadServer(RpcRdmaServerBase):
                 mtype=MessageType.RDMA_NOMSG,
                 chunks=reply_chunks,
                 rpc_message=b"",
+                **lane_fields,
             )
         if exposed:
             # Lifetime now rests with the client: nothing is released

@@ -177,12 +177,14 @@ class ReadWriteServer(RpcRdmaServerBase):
                 )
 
         message = frame_message(reply_bytes, inline_payload)
+        lane_fields = self._lane_reply_fields(ctx)
         header = RpcRdmaHeader(
             xid=reply.xid,
             credits=self.grant(),
             mtype=MessageType.RDMA_MSG,
             chunks=reply_chunks,
             rpc_message=message,
+            **lane_fields,
         )
         if header.wire_size > self.config.inline_threshold:
             # RPC long reply: write the whole message into the client's
@@ -212,6 +214,7 @@ class ReadWriteServer(RpcRdmaServerBase):
                 mtype=MessageType.RDMA_NOMSG,
                 chunks=reply_chunks,
                 rpc_message=b"",
+                **lane_fields,
             )
         send_wr = yield from self.send_header(header)
         # The send's completion guarantees all prior RDMA Writes landed

@@ -52,5 +52,6 @@ register("fig9", figures.run_fig9)
 register("fig10", figures.run_fig10)
 register("fig11", figures.run_fig11)
 register("fig12", figures.run_fig12)
+register("fig13", figures.run_fig13)
 register("security", figures.run_security_audit)
 register("chaos", chaos.run_chaos_soak_table)

@@ -57,6 +57,14 @@ def _build_cluster(spec: dict):
         profile = PROFILES[profile]
     if profile is not None:
         kwargs["profile"] = profile
+    from repro.experiments.topology import TOPOLOGY_KEYS
+
+    topo_kwargs = {k: kwargs.pop(k) for k in TOPOLOGY_KEYS if k in kwargs}
+    if topo_kwargs:
+        from repro.experiments.topology import MultiCluster, TopologyConfig
+
+        return MultiCluster(TopologyConfig(cluster=ClusterConfig(**kwargs),
+                                           **topo_kwargs))
     return Cluster(ClusterConfig(**kwargs))
 
 
@@ -88,6 +96,11 @@ def run_point(point: Point, cluster=None) -> dict:
             # Fig 11's memory axis: bytes of registered receive buffers
             # the server holds for this client population.
             "recv_registered_bytes": cluster.server_recv_buffer_bytes(),
+            # Fig 13's connection axis: live server-side connections
+            # (each one costs QP context on both ends).
+            "qp_total": (cluster.qp_count()
+                         if hasattr(cluster, "qp_count")
+                         else len(getattr(cluster, "server_transports", []))),
         }
     elif point.kind == "oltp":
         from repro.workloads import OltpParams, run_oltp
@@ -113,8 +126,9 @@ def run_point(point: Point, cluster=None) -> dict:
 
         run_iozone(cluster, IozoneParams(**point.params))
         cluster.sim.run(until=cluster.sim.now + 100_000.0)
-        report = audit_server_exposure(cluster.server_node,
-                                       cluster.server_transports)
+        report = audit_server_exposure(
+            getattr(cluster, "server_nodes", cluster.server_node),
+            cluster.server_transports)
         out = {
             "stags_exposed_ever": report["stags_exposed_ever"],
             "exposed_regions_now": report["exposed_regions_now"],

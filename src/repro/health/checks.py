@@ -291,7 +291,12 @@ def check_registration(ctx: CheckContext) -> CheckResult:
 def check_dispatcher(ctx: CheckContext) -> CheckResult:
     """Server run queue: peak depth vs bound, full-queue waits, errors."""
     slo, reg = ctx.slo, ctx.registry
-    peak = _sum(reg, "rpc_queue_peak")
+    # Worst single dispatcher, not the sum: on a sharded deployment each
+    # stack has its own bounded run queue, and ``ctx.queue_depth`` is
+    # the per-stack bound.
+    family = reg.get("rpc_queue_peak")
+    peak = max((child.value for _, child in family.items()), default=0.0) \
+        if family is not None else 0.0
     waits = _sum(reg, "rpc_queue_waits")
     failed = _sum(reg, "rpc_server_failed")
     nfsd_errors = _sum(reg, "nfsd_errors")
@@ -392,6 +397,52 @@ def check_security(ctx: CheckContext) -> CheckResult:
         f"{warned:.0f} warned / {throttled:.0f} throttled / "
         f"{quarantined:.0f} quarantined, {exposure:.0f} B pinned",
         evidence)
+
+
+@register_check("mux")
+def check_mux(ctx: CheckContext) -> CheckResult:
+    """QP multiplexing: lane FIFO integrity and channel-pool shape."""
+    slo, reg = ctx.slo, ctx.registry
+    if not _has(reg, "mux_channels"):
+        return CheckResult("mux", Status.OK, "no QP multiplexing",
+                           {"configured": False})
+    channels = _sum(reg, "mux_channels")
+    lanes = _sum(reg, "mux_lanes")
+    violations = _sum(reg, "lane_order_violations")
+    evidence = {"configured": True, "channels": channels, "lanes": lanes,
+                "order_violations": violations,
+                "connections": _sum(reg, "server_connections")}
+    # Any out-of-order delivery inside a lane breaks the contract RC
+    # ordering is supposed to guarantee — always CRITICAL.
+    status = Status.CRITICAL if violations > 0 else Status.OK
+    ratio_warn = slo.get("mux", "channels_per_lane_warn")
+    if (status is Status.OK and ratio_warn is not None and lanes
+            and channels / lanes >= ratio_warn):
+        status = Status.WARN
+    return CheckResult(
+        "mux", status,
+        f"{channels:.0f} shared QPs carrying {lanes:.0f} lanes, "
+        f"{violations:.0f} FIFO violations", evidence)
+
+
+@register_check("shards")
+def check_shards(ctx: CheckContext) -> CheckResult:
+    """Mount redirector placement balance across server shards."""
+    slo, reg = ctx.slo, ctx.registry
+    per_shard = _by_label(reg, "shard_mounts", "server")
+    if not per_shard:
+        return CheckResult("shards", Status.OK, "single server (no shards)",
+                           {"configured": False})
+    lo, hi = min(per_shard.values()), max(per_shard.values())
+    imbalance = hi - lo
+    evidence = {"configured": True, "shards": len(per_shard),
+                "mounts_per_shard": per_shard, "imbalance": imbalance}
+    limit = slo.get("shards", "imbalance_warn", 1)
+    status = Status.WARN if imbalance > limit else Status.OK
+    return CheckResult(
+        "shards", status,
+        f"{len(per_shard)} shards, {lo:.0f}-{hi:.0f} mounts each "
+        f"(imbalance {imbalance:.0f})", evidence)
 
 
 @register_check("faults")

@@ -41,7 +41,8 @@ __all__ = [
 ]
 
 #: Figure experiments the health command can attach to.
-FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+           "fig13")
 
 
 @dataclass
@@ -97,7 +98,7 @@ def health_of_cluster(cluster, slo: SloPolicy,
         slo=slo,
         experiment=slo.experiment,
         label=label,
-        nodes=1 + cluster.config.nclients,
+        nodes=getattr(cluster, "node_count", 1 + cluster.config.nclients),
         queue_depth=cluster.config.server_queue_depth,
     )
     return PointHealth(

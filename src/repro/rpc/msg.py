@@ -72,6 +72,14 @@ class RpcCall:
     #: is enabled.  Deliberately *not* encoded: real RPC has no such
     #: field, and adding wire bytes would change simulated timing.
     trace_id: Optional[int] = None
+    #: Virtual lane on a multiplexed connection, set by
+    #: :class:`repro.ib.mux.MuxLane` before handing the call to the
+    #: shared channel.  Not encoded here — the RPC/RDMA *transport*
+    #: header carries it (version 2), mirroring how the real protocol
+    #: would extend rpcrdma1 rather than ONC RPC itself.
+    lane: Optional[int] = None
+    #: Per-lane send sequence number (see :attr:`lane`).
+    lane_seq: int = 0
 
     def encode(self) -> bytes:
         """Wire encoding of the call *header* (bulk rides separately)."""

@@ -120,6 +120,11 @@ def probe_primitive_properties() -> list[PrimitiveProperties]:
 def audit_server_exposure(server_node, server_transports) -> dict:
     """Attack-surface snapshot of an NFS server (DESIGN.md invariant 3).
 
+    ``server_node`` may be a single node or a sequence of nodes — a
+    sharded deployment exposes regions on *every* server HCA, so the
+    audit walks each TPT and sums.  (The single-node form silently
+    missed K-1 nodes' exposures on multi-node clusters.)
+
     Receive-buffer accounting is pool-aware: transports that share one
     :class:`~repro.ib.srq.SharedReceivePool` contribute its registered
     bytes *once* (keyed by pool identity), while per-connection rings
@@ -127,8 +132,10 @@ def audit_server_exposure(server_node, server_transports) -> dict:
     transport owned its ring, so the naive per-transport sum was exact;
     after PR 4 it would overcount the shared pool ``n``-fold.
     """
-    tpt = server_node.hca.tpt
-    exposed_now = tpt.remotely_exposed()
+    nodes = (list(server_node) if isinstance(server_node, (list, tuple))
+             else [server_node])
+    tpts = [node.hca.tpt for node in nodes]
+    exposed_now = [mr for tpt in tpts for mr in tpt.remotely_exposed()]
     pending = 0
     pending_bytes = 0
     recv_bytes = 0
@@ -153,12 +160,15 @@ def audit_server_exposure(server_node, server_transports) -> dict:
     return {
         "exposed_regions_now": len(exposed_now),
         "exposed_bytes_now": sum(mr.length for mr in exposed_now),
-        "stags_exposed_ever": len(tpt.stags_exposed_ever),
-        "protection_faults": tpt.protection_faults.events,
+        "stags_exposed_ever": sum(len(tpt.stags_exposed_ever)
+                                  for tpt in tpts),
+        "protection_faults": sum(tpt.protection_faults.events
+                                 for tpt in tpts),
         "pending_done_ops": pending,
         "pending_done_bytes": pending_bytes,
         "recv_registered_bytes": recv_bytes,
         "recv_shared_pools": len(shared_pools),
+        "server_nodes_audited": len(nodes),
     }
 
 

@@ -88,14 +88,19 @@ class Telemetry:
         at collect time.
         """
         reg = self.registry
+        stacks = getattr(cluster, "server_stacks", None)
+        multi = stacks is not None
 
         for mount in cluster.mounts:
             t = mount.transport
             m = mount.nfs.name
             reg.attach("rpc_calls_sent", _events(t.calls_sent),
                        "RPC calls handed to the transport", mount=m)
-            reg.attach("rpc_retransmits", _events(t.retransmissions),
-                       "timer-driven resends (same xid)", mount=m)
+            # A MuxLane has no timers or recovery of its own — those
+            # live on the shared channel, attached below per channel.
+            if hasattr(t, "retransmissions"):
+                reg.attach("rpc_retransmits", _events(t.retransmissions),
+                           "timer-driven resends (same xid)", mount=m)
             if hasattr(t, "reconnects"):
                 reg.attach("rpc_reconnects", _events(t.reconnects),
                            "transport redials after fatal QP errors", mount=m)
@@ -110,56 +115,64 @@ class Telemetry:
                            lambda c=credits: float(c.outstanding_peak),
                            "deepest concurrent-call level seen", mount=m)
 
-        rpc = cluster.rpc_server
-        reg.attach("rpc_server_calls", _events(rpc.calls_served),
-                   "RPCs dispatched by the server")
-        reg.attach("rpc_server_failed", _events(rpc.calls_failed),
-                   "dispatches that raised")
-        pool = rpc.pool
-        reg.attach("rpc_queue_depth", lambda p=pool: float(p.backlog),
-                   "RPCs waiting for a worker thread")
-        reg.attach("rpc_queue_peak", lambda p=pool: float(p.backlog_peak),
-                   "deepest run-queue backlog seen")
-        reg.attach("rpc_queue_waits", _events(pool.queue_waits),
-                   "submitters blocked on a full bounded run queue")
-        srq = getattr(cluster, "srq", None)
-        if srq is not None:
-            reg.attach("srq_entries", lambda s=srq: float(s.entries),
-                       "shared receive pool capacity")
-            reg.attach("srq_available", lambda s=srq: float(s.available),
-                       "receive buffers currently posted and unclaimed")
-            reg.attach("srq_min_available", lambda s=srq: float(s.min_available),
-                       "low-water mark of posted buffers")
-            reg.attach("srq_takes", _events(srq.takes),
-                       "receive buffers claimed by arriving messages")
-            reg.attach("srq_exhaustions", _events(srq.exhaustions),
-                       "arrivals that found the pool empty (RNR path)")
-            reg.attach("srq_registered_bytes",
-                       lambda s=srq: float(s.registered_bytes),
-                       "registered receive-buffer memory, whole server")
-            reg.attach("srq_recycles", _events(srq.recycles),
-                       "buffers reposted to the pool after consumption")
-            reg.attach("srq_low_watermark",
-                       lambda s=srq: float(s.low_watermark),
-                       "repost threshold the pool guards")
-            reg.attach("srq_low_watermark_hits",
-                       _events(srq.low_watermark_hits),
-                       "times the pool drained down to the watermark")
-            reg.attach("srq_reclaimed_on_detach",
-                       _events(srq.reclaimed_on_detach),
-                       "parked deliveries drained back on connection death")
-        if cluster.drc is not None:
-            drc = cluster.drc
-            reg.attach("drc_inserts", _events(drc.inserts),
-                       "replies cached for duplicate detection")
-            reg.attach("drc_replays", _events(drc.replays),
-                       "duplicate xids answered from the cache")
-            reg.attach("drc_drops", _events(drc.drops),
-                       "duplicates dropped while the original ran")
-        reg.attach("nfsd_errors", _events(cluster.nfs_server.errors),
-                   "NFS procedures that returned an error status")
+        for mux in getattr(cluster, "muxes", {}).values():
+            reg.attach("mux_channels",
+                       lambda x=mux: float(x.qp_count),
+                       "shared QPs in this channel pool", mux=mux.name)
+            reg.attach("mux_lanes",
+                       lambda x=mux: float(len(x.lanes)),
+                       "virtual lanes attached to this pool", mux=mux.name)
+            for channel in mux.channels:
+                cn = channel.name
+                reg.attach("rpc_calls_sent", _events(channel.calls_sent),
+                           "RPC calls handed to the transport", mount=cn)
+                reg.attach("rpc_retransmits",
+                           _events(channel.retransmissions),
+                           "timer-driven resends (same xid)", mount=cn)
+                if hasattr(channel, "reconnects"):
+                    reg.attach("rpc_reconnects", _events(channel.reconnects),
+                               "transport redials after fatal QP errors",
+                               mount=cn)
+                    reg.attach("rpc_calls_recovered",
+                               _events(channel.calls_recovered),
+                               "calls replayed across a reconnect", mount=cn)
+                reg.attach("rpc_credit_waits", _events(channel.credits.waits),
+                           "calls that stalled on an exhausted credit grant",
+                           mount=cn)
 
-        for node in [cluster.server_node, *cluster.client_nodes]:
+        if multi:
+            for stack in cluster.all_stacks:
+                self._attach_serving_stack(
+                    stack.rpc_server, stack.srq, stack.drc, stack.nfs_server,
+                    {"server": stack.name})
+                reg.attach("lane_order_violations",
+                           lambda st=stack: float(sum(
+                               t.lanes.order_violations.events
+                               for t in st.server_transports
+                               if getattr(t, "lanes", None) is not None)),
+                           "per-lane FIFO violations flagged by the server",
+                           server=stack.name)
+                reg.attach("server_connections",
+                           lambda st=stack: float(len(st.server_transports)),
+                           "live server-side connections (QPs)",
+                           server=stack.name)
+            redirector = getattr(cluster, "redirector", None)
+            if redirector is not None:
+                for index, stack in enumerate(cluster.server_stacks):
+                    reg.attach("shard_mounts",
+                               lambda r=redirector, i=index: float(
+                                   r.counts()[i]),
+                               "mounts the redirector placed on this shard",
+                               server=stack.name)
+        else:
+            self._attach_serving_stack(
+                cluster.rpc_server, getattr(cluster, "srq", None),
+                cluster.drc, cluster.nfs_server, {})
+
+        nodes = getattr(cluster, "server_nodes", None)
+        if nodes is None:
+            nodes = [cluster.server_node]
+        for node in [*nodes, *cluster.client_nodes]:
             hca = node.hca
             n = node.name
             reg.attach("hca_send_ops", _events(hca.sends),
@@ -198,25 +211,36 @@ class Telemetry:
                            lambda s=san, r=rule: float(s.counts.get(r, 0)),
                            "sanitizer violations for one rule", rule=rule)
 
-        self._attach_strategy(cluster.server_strategy, side="server")
+        if multi:
+            for stack in cluster.all_stacks:
+                self._attach_strategy(stack.strategy, side=stack.name)
+            for mux in cluster.muxes.values():
+                for channel in mux.channels:
+                    self._attach_strategy(channel.strategy, side=channel.name)
+        else:
+            self._attach_strategy(cluster.server_strategy, side="server")
         for mount in cluster.mounts:
             strategy = getattr(mount.transport, "strategy", None)
-            if strategy is not None:
+            if strategy is not None and not hasattr(mount.transport, "channel"):
                 self._attach_strategy(strategy, side=mount.nfs.name)
 
-        cache = getattr(cluster.fs, "cache", None)
-        if cache is not None and hasattr(cache, "hits"):
-            reg.attach("pagecache_hits", _events(cache.hits),
-                       "server page-cache hits")
-            reg.attach("pagecache_misses", _events(cache.misses),
-                       "server page-cache misses")
-            reg.attach("pagecache_evictions", _events(cache.evictions),
-                       "pages evicted under memory pressure")
-            reg.attach("pagecache_writebacks", _events(cache.writebacks),
-                       "dirty pages written back")
-            reg.attach("pagecache_resident_pages",
-                       lambda c=cache: float(c.resident_pages),
-                       "pages currently cached")
+        for fs, labels in (
+                [(stack.fs, {"server": stack.name})
+                 for stack in cluster.all_stacks] if multi
+                else [(cluster.fs, {})]):
+            cache = getattr(fs, "cache", None)
+            if cache is not None and hasattr(cache, "hits"):
+                reg.attach("pagecache_hits", _events(cache.hits),
+                           "server page-cache hits", **labels)
+                reg.attach("pagecache_misses", _events(cache.misses),
+                           "server page-cache misses", **labels)
+                reg.attach("pagecache_evictions", _events(cache.evictions),
+                           "pages evicted under memory pressure", **labels)
+                reg.attach("pagecache_writebacks", _events(cache.writebacks),
+                           "dirty pages written back", **labels)
+                reg.attach("pagecache_resident_pages",
+                           lambda c=cache: float(c.resident_pages),
+                           "pages currently cached", **labels)
 
         policy = getattr(cluster, "security_policy", None)
         if policy is not None:
@@ -278,6 +302,70 @@ class Telemetry:
                        "whole-server stalls fired")
             reg.attach("faults_server_crashes", _events(f.crashes_fired),
                        "server crash-restarts fired")
+
+    def _attach_serving_stack(self, rpc, srq, drc, nfs_server,
+                              labels: dict) -> None:
+        """One serving stack's dispatch/SRQ/DRC gauges.
+
+        ``labels`` is empty on a single-node cluster (the historical
+        unlabeled form) and ``{"server": ...}`` per stack on a
+        :class:`~repro.experiments.topology.MultiCluster`, so the
+        registry-summing health checks aggregate across nodes for free.
+        """
+        reg = self.registry
+        reg.attach("rpc_server_calls", _events(rpc.calls_served),
+                   "RPCs dispatched by the server", **labels)
+        reg.attach("rpc_server_failed", _events(rpc.calls_failed),
+                   "dispatches that raised", **labels)
+        pool = rpc.pool
+        reg.attach("rpc_queue_depth", lambda p=pool: float(p.backlog),
+                   "RPCs waiting for a worker thread", **labels)
+        reg.attach("rpc_queue_peak", lambda p=pool: float(p.backlog_peak),
+                   "deepest run-queue backlog seen", **labels)
+        reg.attach("rpc_queue_waits", _events(pool.queue_waits),
+                   "submitters blocked on a full bounded run queue", **labels)
+        if srq is not None:
+            reg.attach("srq_entries", lambda s=srq: float(s.entries),
+                       "shared receive pool capacity", **labels)
+            reg.attach("srq_available", lambda s=srq: float(s.available),
+                       "receive buffers currently posted and unclaimed",
+                       **labels)
+            reg.attach("srq_min_available",
+                       lambda s=srq: float(s.min_available),
+                       "low-water mark of posted buffers", **labels)
+            reg.attach("srq_takes", _events(srq.takes),
+                       "receive buffers claimed by arriving messages",
+                       **labels)
+            reg.attach("srq_exhaustions", _events(srq.exhaustions),
+                       "arrivals that found the pool empty (RNR path)",
+                       **labels)
+            reg.attach("srq_registered_bytes",
+                       lambda s=srq: float(s.registered_bytes),
+                       "registered receive-buffer memory, whole server",
+                       **labels)
+            reg.attach("srq_recycles", _events(srq.recycles),
+                       "buffers reposted to the pool after consumption",
+                       **labels)
+            reg.attach("srq_low_watermark",
+                       lambda s=srq: float(s.low_watermark),
+                       "repost threshold the pool guards", **labels)
+            reg.attach("srq_low_watermark_hits",
+                       _events(srq.low_watermark_hits),
+                       "times the pool drained down to the watermark",
+                       **labels)
+            reg.attach("srq_reclaimed_on_detach",
+                       _events(srq.reclaimed_on_detach),
+                       "parked deliveries drained back on connection death",
+                       **labels)
+        if drc is not None:
+            reg.attach("drc_inserts", _events(drc.inserts),
+                       "replies cached for duplicate detection", **labels)
+            reg.attach("drc_replays", _events(drc.replays),
+                       "duplicate xids answered from the cache", **labels)
+            reg.attach("drc_drops", _events(drc.drops),
+                       "duplicates dropped while the original ran", **labels)
+        reg.attach("nfsd_errors", _events(nfs_server.errors),
+                   "NFS procedures that returned an error status", **labels)
 
     def _attach_strategy(self, strategy, side: str) -> None:
         """Registration-strategy gauges: FMR occupancy, regcache hit rate."""

@@ -177,6 +177,19 @@ def _hca_section(registry) -> str:
     return "HCA traffic (per node):\n" + table
 
 
+def _mux_section(registry) -> str:
+    if (registry.get("mux_channels") is None
+            and registry.get("shard_mounts") is None):
+        return ""
+    return _scalar_lines(registry, "QP multiplexing / sharding:", [
+        ("mux_channels", "shared QPs"),
+        ("mux_lanes", "virtual lanes"),
+        ("server_connections", "server-side connections"),
+        ("lane_order_violations", "lane FIFO violations"),
+        ("shard_mounts", "mounts placed"),
+    ])
+
+
 def _security_section(registry) -> str:
     if registry.get("security_naks") is None:
         return ""
@@ -272,6 +285,7 @@ def render_stats(cluster) -> str:
         _mount_section(registry),
         _server_section(registry),
         _srq_section(registry),
+        _mux_section(registry),
         _registration_section(registry),
         _pagecache_section(registry),
         _security_section(registry),

@@ -77,6 +77,44 @@ def test_mount_handle_rejects_unknown_verbs():
     assert "readdirplus" in dir(handle)
 
 
+# ---------------------------------------------------------------- topology
+def test_topology_kwargs_route_to_multicluster():
+    from repro.api import MultiCluster
+
+    dep = connect(transport="rdma-rw", strategy="dynamic",
+                  nclients=6, servers=2, mux=True, srq=True)
+    assert isinstance(dep.cluster, MultiCluster)
+    assert dep.topology is not None and dep.topology.servers == 2
+    assert dep.config.nclients == 6   # base knobs still visible
+
+
+def test_plain_kwargs_stay_single_node():
+    dep = connect(transport="rdma-rw", nclients=2)
+    assert dep.topology is None
+    assert dep.shard_of(0) == 0 and dep.shard_of(1) == 0
+
+
+def test_sharded_mounts_round_trip_and_report_shards():
+    from repro.api import TopologyConfig
+
+    dep = connect(TopologyConfig(
+        transport="rdma-rw", strategy="dynamic", nclients=4,
+        servers=2, mux=True, srq=True))
+    shards = {dep.shard_of(i) for i in range(4)}
+    assert shards == {0, 1}   # redirector spread mounts across both
+    for i in range(4):
+        nfs = dep.mount(i)
+        fh, _ = nfs.create(nfs.root, f"m{i}.dat")
+        written, _ = nfs.write(fh, 0, bytes([i]) * 8192)
+        data, eof, _ = nfs.read(fh, 0, written)
+        assert data == bytes([i]) * 8192 and eof
+
+
+def test_deployment_rejects_unknown_config_type():
+    with pytest.raises(TypeError):
+        Deployment(object())
+
+
 # ---------------------------------------------------------------- errors
 def test_nfs_errors_are_typed_and_carry_status():
     from repro.nfs.protocol import Nfs3Status
