@@ -164,7 +164,22 @@ def _chart_for(result) -> str:
 
 
 def cmd_check(args) -> int:
-    """Correctness suite: purity lint + sanitized + perturbed figure grids."""
+    """Correctness suite: static analyzer + sanitized + perturbed grids."""
+    if args.static:
+        from repro.check.static import analyze
+
+        try:
+            report = analyze(rules=args.rule or None)
+        except ValueError as exc:
+            print(f"repro check --static: {exc}", file=sys.stderr)
+            return 2
+        out = (report.render_json() if args.format == "json"
+               else report.render_text())
+        print(out)
+        return 0 if report.ok else 1
+    if args.rule or args.format != "text":
+        print("--rule/--format require --static", file=sys.stderr)
+        return 2
     from repro.check.runner import run_check
 
     report = run_check(
@@ -251,6 +266,9 @@ def cmd_stats(args) -> int:
     else:
         print(f"== {args.figure} point {args.point} ({label}) ==")
         print(render_stats(cluster))
+        print()
+        print("see also: repro health (SLO gate), repro check (sanitizer"
+              " + perturbation), repro check --static (contract analyzer)")
     return 0
 
 
@@ -331,7 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--no-lint", action="store_true",
-                   help="skip the static purity lint pass")
+                   help="skip the static analyzer pass")
+    p.add_argument("--static", action="store_true",
+                   help="run only the static contract analyzer "
+                        "(repro.check.static) and exit")
+    p.add_argument("--rule", action="append", default=None,
+                   help="with --static: restrict to one rule or pack "
+                        "name (repeatable)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="with --static: output format (default text)")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(

@@ -1,4 +1,4 @@
-"""Correctness tooling: runtime sanitizer, race detector, purity lint.
+"""Correctness tooling: runtime sanitizer, race detector, static analyzer.
 
 Three layers, all surfaced through ``python -m repro check``:
 
@@ -13,9 +13,12 @@ Three layers, all surfaced through ``python -m repro check``:
   order; bit-identical figure tables under perturbation prove no result
   depends on incidental event ordering.  :func:`nondeterminism_guard`
   additionally traps wall-clock reads and global-RNG draws at runtime.
-* :func:`lint_paths` (:mod:`repro.check.purity`) — the static AST pass
-  behind ``tools/lint_sim.py`` enforcing sim-purity rules on the source
-  tree itself.
+* :func:`analyze` (:mod:`repro.check.static`) — the interprocedural
+  contract analyzer: the intraprocedural purity rules from
+  :mod:`repro.check.purity` plus zero-cost-off guard dominance,
+  cross-function purity escapes, process/generator discipline,
+  wire-format symmetry and exception-boundary checks.  Surfaced as
+  ``python -m repro check --static``.
 
 The heavyweight figure-grid driver lives in :mod:`repro.check.runner`
 and is imported lazily by the CLI (it pulls in the experiment stack).

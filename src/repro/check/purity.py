@@ -1,4 +1,5 @@
-"""Static sim-purity lint: the AST pass behind ``tools/lint_sim.py``.
+"""Static sim-purity lint: the intraprocedural AST pass behind the
+``purity`` rule pack of ``python -m repro check --static``.
 
 The simulator's determinism contract (bit-identical golden tables) is
 easy to break with perfectly ordinary Python.  This pass flags the four
@@ -41,7 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
-__all__ = ["Finding", "lint_file", "lint_paths", "lint_source"]
+__all__ = ["Finding", "lint_file", "lint_paths", "lint_source", "raw_findings"]
 
 RULES = ("wallclock", "global-random", "set-iteration", "mutable-default")
 
@@ -275,16 +276,25 @@ def _suppressions(source: str) -> dict[int, set[str]]:
     return allowed
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Lint one module's source text; returns unsuppressed findings."""
-    tree = ast.parse(source, filename=path)
+def raw_findings(tree: ast.Module, path: str = "<string>") -> list[Finding]:
+    """All four intraprocedural rules over one parsed module, *before*
+    suppression — the entry point used by the ``purity`` rule pack of
+    :mod:`repro.check.static` (the analyzer core applies suppressions
+    uniformly across every pack)."""
     collector = _SetCollector()
     collector.visit(tree)
     visitor = _PurityVisitor(path, collector.sets, collector.dicts_of_sets)
     visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    tree = ast.parse(source, filename=path)
+    raw = raw_findings(tree, path)
     allowed = _suppressions(source)
     findings = []
-    for finding in visitor.findings:
+    for finding in raw:
         rules = allowed.get(finding.line)
         if rules is not None and ("*" in rules or finding.rule in rules):
             continue

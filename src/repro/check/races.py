@@ -38,7 +38,7 @@ callback: siblings scheduled before it keep preceding it, siblings
 after it keep following it, and each side shuffles only internally.
 The residual hazard — booting processes while iterating an unordered
 collection — is a *static* property, and the set-iteration rule in
-:mod:`tools.lint_sim` catches it at parse time.
+:mod:`repro.check.static` catches it at parse time.
 
 The perturbed heap therefore keys entries ``(time, region, random,
 seq)`` where ``region`` is a counter bumped on every callback

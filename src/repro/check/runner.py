@@ -14,8 +14,11 @@ metric dicts to be **bit-identical** across all of them:
   order, so any result that depends on incidental event ordering shows
   up as a table diff.
 
-The static purity lint runs first (it is cheap and catches problems the
-dynamic passes would only hit probabilistically).
+The static contract analyzer (:mod:`repro.check.static`) runs first —
+purity, zero-cost-off guards, interprocedural purity escapes, process/
+generator discipline, wire-format symmetry and exception boundaries are
+all cheap AST passes that catch problems the dynamic passes would only
+hit probabilistically.
 """
 
 from __future__ import annotations
@@ -24,7 +27,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.check.purity import Finding, lint_paths
+from repro.check.purity import Finding
+from repro.check.static import analyze
 
 __all__ = ["CHECK_FIGURES", "CheckReport", "FigureCheck", "run_check"]
 
@@ -147,8 +151,8 @@ def run_check(figures: Optional[Sequence[str]] = None,
     report = CheckReport()
     if lint:
         if progress:
-            progress("lint: src/repro ...")
-        report.lint_findings = lint_paths([_repro_src_root()])
+            progress("static: src/repro ...")
+        report.lint_findings = analyze(root=_repro_src_root()).findings
         report.lint_ran = True
     for figure in (figures or CHECK_FIGURES):
         if progress:

@@ -1,0 +1,372 @@
+"""Shared front end: module loader, symbol table, call graph, summaries.
+
+Every rule pack sees the same :class:`Program` — all modules under the
+analysis root parsed once, every function/method indexed by dotted
+qualname, and each call site resolved to its callee *conservatively*:
+a call is bound only when the target is provably a function in the
+program (a module-level name, a ``from``-import, a ``self.`` method
+through the class's in-program MRO, or an ``alias.name`` attribute on
+an imported module).  Unresolvable calls stay unbound — interprocedural
+rules under-approximate rather than guess, which keeps them quiet on
+dynamic dispatch they cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+__all__ = ["CallSite", "ClassInfo", "FunctionInfo", "Module", "Program",
+           "dotted", "load_program", "load_source"]
+
+_ALLOW_RE = re.compile(r"#\s*lint-sim:\s*allow\[([^\]]*)\]")
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: str
+    name: str                      # dotted module name, e.g. "repro.core.base"
+    tree: ast.Module
+    source: str
+    #: line -> rules listed in a lint-sim allow comment on that line.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: ``import x.y as z`` -> {"z": "x.y"}
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    #: ``from x import y as z`` -> {"z": ("x", "y")}
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: dotted qualname of the resolved in-program callee, or None.
+    callee: Optional[str]
+    #: True when the call is the immediate operand of ``yield from``.
+    in_yield_from: bool = False
+
+
+@dataclass
+class FunctionInfo:
+    """Symbol-table entry + summary for one function or method."""
+
+    qualname: str                  # "repro.core.base.Endpoint.call"
+    module: Module
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    cls: Optional[str] = None      # owning class qualname, if a method
+    is_generator: bool = False
+    calls: list[CallSite] = field(default_factory=list)
+    #: yield expressions lexically inside this function (not nested defs).
+    yields: list[ast.expr] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: Module
+    node: ast.ClassDef
+    #: resolved in-program base-class qualnames, declaration order.
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class Program:
+    """Every module under the analysis root, indexed and cross-linked."""
+
+    def __init__(self, modules: list[Module]):
+        self.modules = modules
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._by_module: dict[str, Module] = {m.name: m for m in modules}
+        for module in modules:
+            self._index_module(module)
+        for module in modules:
+            self._resolve_calls(module)
+
+    # -- indexing ---------------------------------------------------------
+    def _index_module(self, module: Module) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                self._index_import(module, stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, stmt, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(module, stmt)
+
+    def _index_import(self, module: Module,
+                      stmt: Union[ast.Import, ast.ImportFrom]) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                name = alias.asname or alias.name.split(".")[0]
+                module.import_aliases[name] = (alias.name if alias.asname
+                                               else alias.name.split(".")[0])
+            return
+        if stmt.module is None or stmt.level:
+            return  # relative imports are not used in this tree
+        for alias in stmt.names:
+            module.from_imports[alias.asname or alias.name] = (
+                stmt.module, alias.name)
+
+    def _index_class(self, module: Module, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        info = ClassInfo(qualname=qualname, module=module, node=node)
+        self.classes[qualname] = info
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._index_function(module, stmt, cls=qualname)
+                info.methods[stmt.name] = fn
+
+    def _index_function(self, module: Module, node, cls: Optional[str]
+                        ) -> FunctionInfo:
+        parent = cls or module.name
+        qualname = f"{parent}.{node.name}"
+        info = FunctionInfo(qualname=qualname, module=module, node=node,
+                            cls=cls, is_generator=_is_generator(node))
+        self.functions[qualname] = info
+        # Nested defs are indexed as <outer>.<inner> (best-effort).
+        for stmt in ast.walk(node):
+            if stmt is node:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = f"{qualname}.{stmt.name}"
+                if nested not in self.functions:
+                    self.functions[nested] = FunctionInfo(
+                        qualname=nested, module=module, node=stmt, cls=cls,
+                        is_generator=_is_generator(stmt))
+        return info
+
+    # -- class resolution --------------------------------------------------
+    def _finish_bases(self) -> None:
+        for info in self.classes.values():
+            if info.bases:
+                continue
+            for base in info.node.bases:
+                resolved = self._resolve_symbol(info.module, base)
+                if resolved in self.classes:
+                    info.bases.append(resolved)
+
+    def mro(self, cls_qualname: str) -> Iterator[ClassInfo]:
+        """Best-effort linearization: the class, then bases depth-first."""
+        seen: set[str] = set()
+        stack = [cls_qualname]
+        while stack:
+            name = stack.pop(0)
+            if name in seen or name not in self.classes:
+                continue
+            seen.add(name)
+            info = self.classes[name]
+            yield info
+            stack.extend(info.bases)
+
+    def method(self, cls_qualname: str, name: str) -> Optional[FunctionInfo]:
+        for cls in self.mro(cls_qualname):
+            fn = cls.methods.get(name)
+            if fn is not None:
+                return fn
+        return None
+
+    # -- call resolution ---------------------------------------------------
+    def _resolve_symbol(self, module: Module, node: ast.AST) -> Optional[str]:
+        """Dotted program qualname for a Name/Attribute reference."""
+        name = dotted(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        # from x import y [as z]  ->  z(.rest)
+        if head in module.from_imports:
+            src, orig = module.from_imports[head]
+            base = f"{src}.{orig}"
+            return f"{base}.{rest}" if rest else base
+        # import x.y [as z]  ->  z.attr
+        if head in module.import_aliases:
+            base = module.import_aliases[head]
+            return f"{base}.{rest}" if rest else base
+        # module-local symbol
+        local = f"{module.name}.{name}"
+        if (local in self.functions or local in self.classes
+                or f"{module.name}.{head}" in self.classes):
+            return local
+        return None
+
+    def _bind(self, module: Module, cls: Optional[str],
+              func: ast.expr) -> Optional[str]:
+        """Resolve one call's target to an in-program function qualname."""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+                and func.value.id == "self" and cls is not None:
+            target = self.method(cls, func.attr)
+            return target.qualname if target is not None else None
+        resolved = self._resolve_symbol(module, func)
+        if resolved is None:
+            return None
+        if resolved in self.functions:
+            return resolved
+        if resolved in self.classes:
+            ctor = self.method(resolved, "__init__")
+            return ctor.qualname if ctor is not None else None
+        # classmethod/staticmethod access Cls.method
+        parent, _, attr = resolved.rpartition(".")
+        if parent in self.classes:
+            target = self.method(parent, attr)
+            return target.qualname if target is not None else None
+        return None
+
+    def _resolve_calls(self, module: Module) -> None:
+        self._finish_bases()
+        for info in self.functions.values():
+            if info.module is not module or info.calls or info.yields:
+                continue
+            collector = _BodyCollector()
+            collector.collect(info.node)
+            info.yields = collector.yields
+            for node, in_yf in collector.calls:
+                info.calls.append(CallSite(
+                    node=node,
+                    callee=self._bind(module, info.cls, node.func),
+                    in_yield_from=in_yf))
+
+    # -- convenience -------------------------------------------------------
+    def bind_callable(self, info: FunctionInfo,
+                      expr: ast.expr) -> Optional[str]:
+        """Public call-target resolution for a reference seen inside
+        ``info`` (used by packs to bind callback/function arguments)."""
+        return self._bind(info.module, info.cls, expr)
+
+    def module(self, name: str) -> Optional[Module]:
+        return self._by_module.get(name)
+
+    def functions_in(self, module: Module) -> Iterator[FunctionInfo]:
+        for info in self.functions.values():
+            if info.module is module:
+                yield info
+
+
+class _BodyCollector(ast.NodeVisitor):
+    """Calls + yields lexically inside one function (not nested defs)."""
+
+    def __init__(self) -> None:
+        self.calls: list[tuple[ast.Call, bool]] = []
+        self.yields: list[ast.expr] = []
+        self._yield_from_operands: set[int] = set()
+
+    def collect(self, node) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested def: belongs to its own FunctionInfo
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        if isinstance(node.value, ast.Call):
+            self._yield_from_operands.add(id(node.value))
+        self.yields.append(node)
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.yields.append(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append((node, id(node) in self._yield_from_operands))
+        self.generic_visit(node)
+
+
+def _is_generator(node) -> bool:
+    return any(
+        isinstance(n, (ast.Yield, ast.YieldFrom))
+        for n in _walk_same_scope(node)
+    )
+
+
+def _walk_same_scope(node) -> Iterator[ast.AST]:
+    """ast.walk that does not descend into nested function scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Per-line allow sets, read from *actual* comments only — a
+    docstring that documents the ``# lint-sim: allow[...]`` syntax must
+    neither suppress findings nor trip the unused-suppression audit."""
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match:
+                allowed[token.start[0]] = {
+                    r.strip() for r in match.group(1).split(",") if r.strip()}
+    except tokenize.TokenizeError:
+        pass
+    return allowed
+
+
+def load_source(source: str, path: str = "<string>",
+                name: str = "repro.fixture") -> Module:
+    """Parse one module from text (fixture tests use synthetic names)."""
+    tree = ast.parse(source, filename=path)
+    return Module(path=path, name=name, tree=tree, source=source,
+                  suppressions=_suppressions(source))
+
+
+def _module_name(root: Path, file: Path, package: str) -> str:
+    rel = file.relative_to(root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([package, *parts]) if parts else package
+
+
+def load_program(root: Union[str, Path, None] = None,
+                 package: str = "repro") -> Program:
+    """Parse every ``.py`` under ``root`` (default: the installed
+    ``repro`` package directory) into one :class:`Program`."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root)
+    modules = []
+    for file in sorted(root.rglob("*.py")):
+        source = file.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(file))
+        modules.append(Module(
+            path=str(file), name=_module_name(root, file, package),
+            tree=tree, source=source, suppressions=_suppressions(source)))
+    return Program(modules)

@@ -1,0 +1,29 @@
+"""Pack ``purity`` — the four intraprocedural sim-purity rules.
+
+Absorbed from the pre-analyzer standalone lint (``tools/lint_sim.py``):
+the detection logic still lives in :mod:`repro.check.purity` (which
+keeps its ``lint_source``/``lint_paths`` compatibility API); this pack
+just runs it over every module the front end loaded.
+"""
+
+from __future__ import annotations
+
+from repro.check.purity import RULES, Finding, raw_findings
+from repro.check.static.frontend import Program
+from repro.check.static.rules import RulePack
+
+
+def run(program: Program) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in program.modules:
+        findings.extend(raw_findings(module.tree, module.path))
+    return findings
+
+
+PACK = RulePack(
+    name="purity",
+    rules=tuple(RULES),
+    doc="wallclock / global-random / set-iteration / mutable-default "
+        "direct uses (intraprocedural)",
+    run=run,
+)

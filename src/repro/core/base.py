@@ -857,7 +857,9 @@ class RpcRdmaServerBase(_RdmaEndpoint, RpcServerTransport):
     def _handle_done(self, header: RpcRdmaHeader) -> Generator:
         """Read-Read only; the base treats it as a protocol error."""
         raise TransportError(f"{self.name}: unexpected RDMA_DONE")
-        yield  # pragma: no cover
+        # The unreachable bare yield only marks this handler as a
+        # generator so `yield from` accepts it.
+        yield  # pragma: no cover # lint-sim: allow[process-yield]
 
     def _responder(self, ctx: dict):
         def respond(reply: RpcReply) -> Generator:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.health.slo import SloPolicy
 
@@ -63,7 +63,7 @@ class CheckContext:
     so the check functions stay registry-pure.
     """
 
-    registry: object                    # repro.telemetry.registry.Registry
+    registry: Any                       # repro.telemetry.registry.Registry
     slo: SloPolicy
     experiment: str = ""
     label: str = ""
@@ -75,9 +75,12 @@ class CheckContext:
 CHECKS: dict[str, Callable[[CheckContext], CheckResult]] = {}
 
 
-def register_check(name: str):
+_CheckFn = Callable[[CheckContext], CheckResult]
+
+
+def register_check(name: str) -> Callable[[_CheckFn], _CheckFn]:
     """Decorator: add a check under ``name``; names are unique."""
-    def deco(fn):
+    def deco(fn: _CheckFn) -> _CheckFn:
         if name in CHECKS:
             raise ValueError(f"health check {name!r} already registered")
         CHECKS[name] = fn
@@ -91,18 +94,18 @@ def run_checks(ctx: CheckContext) -> list[CheckResult]:
 
 
 # -- registry readers -------------------------------------------------------
-def _sum(registry, name: str) -> float:
+def _sum(registry: Any, name: str) -> float:
     family = registry.get(name)
     if family is None:
         return 0.0
-    return sum(child.value for _, child in family.items())
+    return float(sum(child.value for _, child in family.items()))
 
 
-def _has(registry, name: str) -> bool:
+def _has(registry: Any, name: str) -> bool:
     return registry.get(name) is not None
 
 
-def _by_label(registry, name: str, key: str) -> dict[str, float]:
+def _by_label(registry: Any, name: str, key: str) -> dict[str, float]:
     family = registry.get(name)
     if family is None:
         return {}

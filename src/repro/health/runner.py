@@ -22,7 +22,7 @@ Three attachment modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.health.checks import (
     CheckContext,
@@ -83,7 +83,7 @@ class HealthReport:
                 if r.status is not Status.OK]
 
 
-def health_of_cluster(cluster, slo: SloPolicy,
+def health_of_cluster(cluster: Any, slo: SloPolicy,
                       label: str = "cluster") -> PointHealth:
     """Grade one already-run, telemetry-enabled cluster."""
     from repro.telemetry.nfsstat import stats_dict
@@ -119,7 +119,8 @@ def load_policy(slo_path: Optional[str], experiment: str) -> SloPolicy:
 
 def _figure_points(experiment: str, scale: str, slo: SloPolicy,
                    point_index: Optional[int],
-                   progress=None) -> list[PointHealth]:
+                   progress: Optional[Callable[[str], None]] = None,
+                   ) -> list[PointHealth]:
     from repro.experiments.figures import figure_grid
     from repro.experiments.sweep import _build_cluster, run_point
 
@@ -141,8 +142,9 @@ def _figure_points(experiment: str, scale: str, slo: SloPolicy,
     return points
 
 
-def _chaos_point(scale: str, slo: SloPolicy, seed: int,
-                 crashes: int, progress=None) -> list[PointHealth]:
+def _chaos_point(scale: str, slo: SloPolicy, seed: int, crashes: int,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> list[PointHealth]:
     from repro.experiments.chaos import run_chaos_soak
 
     outcome = run_chaos_soak(scale, seed=seed, crashes=crashes,
@@ -178,7 +180,7 @@ def run_health(
     point: Optional[int] = None,
     seed: int = 2007,
     crashes: int = 0,
-    progress=None,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> HealthReport:
     """Run ``experiment`` with telemetry on and grade every point.
 

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro.core.credits import CreditManager
 from repro.rpc.lanes import lane_grant
@@ -82,7 +82,8 @@ class MuxConfig:
 class MuxLane(RpcClientTransport):
     """One mount's virtual lane on a shared channel."""
 
-    def __init__(self, mux: "QpMux", channel, lane_id: int, name: str = ""):
+    def __init__(self, mux: "QpMux", channel: Any, lane_id: int,
+                 name: str = "") -> None:
         self.mux = mux
         self.channel = channel
         self.lane_id = lane_id
@@ -130,8 +131,9 @@ class QpMux:
     lanes attach round-robin by id and stay put.
     """
 
-    def __init__(self, name: str, nlanes: int, make_channel,
-                 config: Optional[MuxConfig] = None):
+    def __init__(self, name: str, nlanes: int,
+                 make_channel: Callable[[int], Any],
+                 config: Optional[MuxConfig] = None) -> None:
         self.name = name
         self.config = config or MuxConfig()
         self.planned_lanes = nlanes
@@ -147,14 +149,14 @@ class QpMux:
     def qp_count(self) -> int:
         return len(self.channels)
 
-    def lanes_on(self, channel) -> int:
+    def lanes_on(self, channel: Any) -> int:
         """Planned lane load of ``channel`` (for initial credit slices)."""
         nqps = len(self.channels)
         index = self.channels.index(channel)
         lanes = max(self.planned_lanes, len(self.lanes))
         return max(1, (lanes - index + nqps - 1) // nqps)
 
-    def initial_lane_grant(self, channel) -> int:
+    def initial_lane_grant(self, channel: Any) -> int:
         return lane_grant(channel.config.credits, self.lanes_on(channel))
 
     def add_lane(self, lane_id: int, name: str = "") -> MuxLane:
@@ -168,6 +170,6 @@ class QpMux:
         self.lanes[lane_id] = lane
         return lane
 
-    def _on_reply_header(self, header) -> None:
+    def _on_reply_header(self, header: Any) -> None:
         if header.lane_credits > 0:
             self.lane_grants[header.lane] = header.lane_credits

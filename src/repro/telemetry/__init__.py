@@ -23,6 +23,8 @@ either way.
 from __future__ import annotations
 
 from repro.ib.verbs import QPState
+from typing import Any, Optional
+
 from repro.telemetry.registry import Counter, Gauge, Histogram, Registry, Sample
 from repro.telemetry.spans import Span, SpanTracer
 
@@ -51,7 +53,7 @@ def _value(counter):
 class Telemetry:
     """The cluster-wide observability root, attached as ``sim.telemetry``."""
 
-    def __init__(self, sim, tracing: bool = True):
+    def __init__(self, sim: Any, tracing: bool = True) -> None:
         self.sim = sim
         self.registry = Registry()
         self.tracer = SpanTracer(sim) if tracing else None
@@ -80,7 +82,7 @@ class Telemetry:
         self.server_ops.labels(verb=verb).add()
 
     # -- cluster wiring ----------------------------------------------------
-    def attach_cluster(self, cluster) -> None:
+    def attach_cluster(self, cluster: Any) -> None:
         """Absorb a built cluster's live counters into the registry.
 
         Everything is attached as a callback gauge, so the subsystems
@@ -303,8 +305,8 @@ class Telemetry:
             reg.attach("faults_server_crashes", _events(f.crashes_fired),
                        "server crash-restarts fired")
 
-    def _attach_serving_stack(self, rpc, srq, drc, nfs_server,
-                              labels: dict) -> None:
+    def _attach_serving_stack(self, rpc: Any, srq: Any, drc: Any,
+                              nfs_server: Any, labels: dict) -> None:
         """One serving stack's dispatch/SRQ/DRC gauges.
 
         ``labels`` is empty on a single-node cluster (the historical
@@ -367,7 +369,7 @@ class Telemetry:
         reg.attach("nfsd_errors", _events(nfs_server.errors),
                    "NFS procedures that returned an error status", **labels)
 
-    def _attach_strategy(self, strategy, side: str) -> None:
+    def _attach_strategy(self, strategy: Any, side: str) -> None:
         """Registration-strategy gauges: FMR occupancy, regcache hit rate."""
         reg = self.registry
         if hasattr(strategy, "acquires"):

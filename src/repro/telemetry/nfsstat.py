@@ -13,6 +13,8 @@ that :meth:`Telemetry.attach_cluster` absorbed the scattered counters.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.analysis.latency import LatencyRecorder
 from repro.analysis.stats import format_table
 
@@ -28,7 +30,7 @@ def _fmt(value: float) -> str:
     return f"{value:.0f}" if float(value).is_integer() else f"{value:.1f}"
 
 
-def _verb_section(telemetry) -> str:
+def _verb_section(telemetry: Any) -> str:
     """Per-verb table: client ops (all mounts merged), server ops, latency."""
     counts: dict[str, float] = {}
     recorders: dict[str, LatencyRecorder] = {}
@@ -57,7 +59,7 @@ def _verb_section(telemetry) -> str:
     return "NFS per-verb operations:\n" + table
 
 
-def _mount_section(registry) -> str:
+def _mount_section(registry: Any) -> str:
     mounts: dict[str, dict[str, float]] = {}
     for metric in ("rpc_calls_sent", "rpc_retransmits", "rpc_reconnects",
                    "rpc_calls_recovered", "rpc_credit_waits"):
@@ -77,7 +79,8 @@ def _mount_section(registry) -> str:
     return "RPC transport (per mount):\n" + table
 
 
-def _scalar_lines(registry, title: str, metrics: list[tuple[str, str]]) -> str:
+def _scalar_lines(registry: Any, title: str,
+                  metrics: list[tuple[str, str]]) -> str:
     lines = [title]
     for metric, label in metrics:
         for labels, child in _rows(registry, metric):
@@ -89,7 +92,7 @@ def _scalar_lines(registry, title: str, metrics: list[tuple[str, str]]) -> str:
     return "\n".join(lines)
 
 
-def _server_section(registry) -> str:
+def _server_section(registry: Any) -> str:
     return _scalar_lines(registry, "Server RPC dispatch:", [
         ("rpc_server_calls", "calls served"),
         ("rpc_server_failed", "calls failed"),
@@ -102,7 +105,7 @@ def _server_section(registry) -> str:
     ])
 
 
-def _srq_section(registry) -> str:
+def _srq_section(registry: Any) -> str:
     if registry.get("srq_entries") is None:
         return ""
     return _scalar_lines(registry, "Shared receive pool (SRQ):", [
@@ -119,7 +122,7 @@ def _srq_section(registry) -> str:
     ])
 
 
-def _registration_section(registry) -> str:
+def _registration_section(registry: Any) -> str:
     lines = [_scalar_lines(registry, "Registration:", [
         ("tpt_registrations", "tpt registrations"),
         ("tpt_deregistrations", "tpt deregistrations"),
@@ -140,7 +143,7 @@ def _registration_section(registry) -> str:
     return "\n".join(lines)
 
 
-def _pagecache_section(registry) -> str:
+def _pagecache_section(registry: Any) -> str:
     if registry.get("pagecache_hits") is None:
         return ""
     lines = [_scalar_lines(registry, "Server page cache:", [
@@ -157,7 +160,7 @@ def _pagecache_section(registry) -> str:
     return "\n".join(lines)
 
 
-def _hca_section(registry) -> str:
+def _hca_section(registry: Any) -> str:
     nodes: dict[str, dict[str, float]] = {}
     for metric in ("hca_send_ops", "hca_send_bytes", "hca_rdma_write_bytes",
                    "hca_rdma_read_bytes", "hca_rnr_events"):
@@ -177,7 +180,7 @@ def _hca_section(registry) -> str:
     return "HCA traffic (per node):\n" + table
 
 
-def _mux_section(registry) -> str:
+def _mux_section(registry: Any) -> str:
     if (registry.get("mux_channels") is None
             and registry.get("shard_mounts") is None):
         return ""
@@ -190,7 +193,7 @@ def _mux_section(registry) -> str:
     ])
 
 
-def _security_section(registry) -> str:
+def _security_section(registry: Any) -> str:
     if registry.get("security_naks") is None:
         return ""
     return _scalar_lines(registry, "Security (hardened data plane):", [
@@ -211,7 +214,7 @@ def _security_section(registry) -> str:
     ])
 
 
-def _fault_section(registry) -> str:
+def _fault_section(registry: Any) -> str:
     if registry.get("faults_messages_dropped") is None:
         return ""
     return _scalar_lines(registry, "Fault injection:", [
@@ -232,7 +235,7 @@ def _require_telemetry(cluster):
     return telemetry
 
 
-def stats_dict(cluster) -> dict:
+def stats_dict(cluster: Any) -> dict:
     """The nfsstat report as plain data (the ``--json`` / health-sink form).
 
     Two views of the same registry:
@@ -276,7 +279,7 @@ def stats_dict(cluster) -> dict:
     return {"verbs": verbs, "samples": samples}
 
 
-def render_stats(cluster) -> str:
+def render_stats(cluster: Any) -> str:
     """The full nfsstat-style report for a cluster with telemetry attached."""
     telemetry = _require_telemetry(cluster)
     registry = telemetry.registry

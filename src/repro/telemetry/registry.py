@@ -21,7 +21,7 @@ percentiles are exact (computed over all samples), not bucketed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.analysis.latency import LatencyRecorder, LatencySummary
 
@@ -48,13 +48,14 @@ class _Family:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str, label_names: tuple[str, ...]):
+    def __init__(self, name: str, help: str,
+                 label_names: tuple[str, ...]) -> None:
         self.name = name
         self.help = help
         self.label_names = label_names
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[str, ...], Any] = {}
 
-    def labels(self, **labelset):
+    def labels(self, **labelset: object) -> Any:
         """The child for one label combination (created on first use)."""
         if set(labelset) != set(self.label_names):
             raise ValueError(
@@ -67,12 +68,12 @@ class _Family:
             child = self._children[key] = self._make_child()
         return child
 
-    def items(self) -> Iterator[tuple[dict, object]]:
+    def items(self) -> Iterator[tuple[dict[str, str], Any]]:
         """(label dict, child) pairs sorted by label values."""
         for key in sorted(self._children):
             yield dict(zip(self.label_names, key)), self._children[key]
 
-    def _make_child(self):  # pragma: no cover - abstract
+    def _make_child(self) -> Any:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def _label_tuple(self, key: tuple[str, ...]) -> tuple[tuple[str, str], ...]:
@@ -100,7 +101,7 @@ class Counter(_Family):
     def _make_child(self) -> _CounterChild:
         return _CounterChild()
 
-    def add(self, amount: float = 1.0, **labelset) -> None:
+    def add(self, amount: float = 1.0, **labelset: object) -> None:
         self.labels(**labelset).add(amount)
 
     def samples(self) -> Iterator[Sample]:
@@ -134,7 +135,7 @@ class Gauge(_Family):
     def _make_child(self) -> _GaugeChild:
         return _GaugeChild()
 
-    def set(self, value: float, **labelset) -> None:
+    def set(self, value: float, **labelset: object) -> None:
         self.labels(**labelset).set(value)
 
     def samples(self) -> Iterator[Sample]:
@@ -145,7 +146,7 @@ class Gauge(_Family):
 class _HistogramChild:
     __slots__ = ("recorder",)
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.recorder = LatencyRecorder(name)
 
     def observe(self, value: float) -> None:
@@ -161,7 +162,7 @@ class Histogram(_Family):
     def _make_child(self) -> _HistogramChild:
         return _HistogramChild(self.name)
 
-    def observe(self, value: float, **labelset) -> None:
+    def observe(self, value: float, **labelset: object) -> None:
         self.labels(**labelset).observe(value)
 
     def samples(self) -> Iterator[Sample]:
@@ -185,7 +186,8 @@ class Registry:
     def __init__(self):
         self._families: dict[str, _Family] = {}  # insertion-ordered
 
-    def _family(self, kind: str, name: str, help: str, labels) -> _Family:
+    def _family(self, kind: str, name: str, help: str,
+                labels: Iterable[str]) -> _Family:
         label_names = tuple(labels)
         family = self._families.get(name)
         if family is None:
@@ -199,17 +201,20 @@ class Registry:
                 f"metric {name!r} has labels {family.label_names}, not {label_names}")
         return family
 
-    def counter(self, name: str, help: str = "", labels=()) -> Counter:
+    def counter(self, name: str, help: str = "",
+                labels: Iterable[str] = ()) -> Counter:
         return self._family("counter", name, help, labels)
 
-    def gauge(self, name: str, help: str = "", labels=()) -> Gauge:
+    def gauge(self, name: str, help: str = "",
+              labels: Iterable[str] = ()) -> Gauge:
         return self._family("gauge", name, help, labels)
 
-    def histogram(self, name: str, help: str = "", labels=()) -> Histogram:
+    def histogram(self, name: str, help: str = "",
+                  labels: Iterable[str] = ()) -> Histogram:
         return self._family("histogram", name, help, labels)
 
     def attach(self, name: str, fn: Callable[[], float], help: str = "",
-               **labelset) -> None:
+               **labelset: object) -> None:
         """Absorb an existing live value: a gauge child reading ``fn``."""
         gauge = self.gauge(name, help, labels=tuple(labelset))
         gauge.labels(**labelset).set_function(fn)

@@ -65,7 +65,7 @@ class Span:
         self.finish: Optional[float] = None
         self.args = args
 
-    def end(self, **extra) -> None:
+    def end(self, **extra: object) -> None:
         """Close the span at the current simulated instant (idempotent)."""
         if self.finish is None:
             self.finish = self._tracer.sim.now
@@ -121,7 +121,7 @@ class SpanTracer:
 
     # -- recording --------------------------------------------------------
     def begin(self, name: str, cat: str, process: str, lane: str,
-              parent: Optional[Span] = None, **args) -> Span:
+              parent: Optional[Span] = None, **args: object) -> Span:
         """Open a span now; inherits ``parent``'s trace id (or starts one)."""
         if parent is not None:
             trace_id = parent.trace_id
@@ -137,7 +137,8 @@ class SpanTracer:
         self.spans.append(span)
         return span
 
-    def instant(self, name: str, cat: str, process: str, lane: str, **args) -> None:
+    def instant(self, name: str, cat: str, process: str, lane: str,
+                **args: object) -> None:
         """Record a point event (fault injection, redial, cache hit...)."""
         pid = self._pid(process)
         self.instants.append({
